@@ -1,0 +1,80 @@
+// Ablation E9 (paper Sec. IV-B/IV-C): lazy-spill geometry. Measures the
+// global-memory traffic of naive vs lazy spilling across subwarp sizes and
+// transaction granularities (pre-Volta 128 B vs Volta+ 32 B), isolating why
+// coalescing matters more on older architectures.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/workload.hpp"
+#include "kernels/saloba_kernel.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace saloba;
+
+namespace {
+
+struct Traffic {
+  double moved_mb = 0.0;
+  double useful_mb = 0.0;
+  std::uint64_t requests = 0;
+  double time_ms = 0.0;
+};
+
+Traffic measure(const kernels::SalobaConfig& cfg, const gpusim::DeviceSpec& spec,
+                const seq::PairBatch& batch, const align::ScoringScheme& scoring) {
+  gpusim::Device dev(spec);
+  auto result = kernels::make_saloba(cfg)->run(dev, batch, scoring);
+  Traffic t;
+  t.moved_mb = static_cast<double>(result.stats.totals.global_bytes_moved) / 1e6;
+  t.useful_mb = static_cast<double>(result.stats.totals.global_bytes_useful) / 1e6;
+  t.requests = result.stats.totals.global_requests;
+  t.time_ms = result.time.total_ms;
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("ablation_spill", "lazy-spill traffic geometry (Sec. IV-B)");
+  args.add_int("len", "sequence length", 2048);
+  args.add_int("pairs", "pairs in the batch", 96);
+  if (!args.parse(argc, argv)) return 1;
+
+  auto genome = core::make_genome(4 << 20);
+  auto batch = core::make_fig6_batch(genome, static_cast<std::size_t>(args.get_int("len")),
+                                     static_cast<std::size_t>(args.get_int("pairs")));
+  align::ScoringScheme scoring;
+
+  for (const auto& spec :
+       {gpusim::DeviceSpec::pascal_p100(), gpusim::DeviceSpec::volta_v100()}) {
+    std::printf("=== %s (%d B transactions) ===\n", spec.name.c_str(),
+                spec.mem_access_granularity);
+    util::Table table(
+        {"Config", "Moved MB", "Useful MB", "Waste x", "Mem requests", "Sim time"});
+    for (int subwarp : {32, 16, 8}) {
+      for (int mode = 0; mode < 3; ++mode) {
+        if (mode == 2 && subwarp == 32) continue;  // full-warp = default at 32
+        kernels::SalobaConfig cfg;
+        cfg.subwarp_size = subwarp;
+        cfg.lazy_spill = mode != 0;
+        cfg.full_warp_spill = mode == 2;  // Sec. IV-C: N+32-slot variant
+        auto t = measure(cfg, spec, batch, scoring);
+        char label[64];
+        std::snprintf(label, sizeof label, "sw%-2d %s", subwarp,
+                      mode == 0 ? "naive" : (mode == 1 ? "lazy" : "lazy+fw"));
+        table.add_row({label, util::Table::num(t.moved_mb, 1), util::Table::num(t.useful_mb, 1),
+                       util::Table::num(t.moved_mb / t.useful_mb, 2),
+                       std::to_string(t.requests), util::Table::ms(t.time_ms)});
+      }
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  std::printf(
+      "Expected: naive spilling wastes a full transaction per 4 B cell — 32x at\n"
+      "128 B granularity, 8x at 32 B — while lazy bursts stay near 1x. Smaller\n"
+      "subwarps shrink the burst width (Sec. IV-C), which matters on pre-Volta\n"
+      "parts: the paper's N+32-slot variant would recover full-warp bursts.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig. 7 reproduction: ablation of SALoBa's three techniques, normalised to
+// GASAL2 — intra-query parallelism alone, + lazy spilling, + subwarp
+// scheduling (= full SALoBa).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/workload.hpp"
+#include "util/args.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace saloba;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("fig7_ablation", "Fig. 7: technique-by-technique ablation");
+  if (!args.parse(argc, argv)) return 1;
+
+  auto genome = core::make_genome(8 << 20);
+  align::ScoringScheme scoring;
+  const std::vector<std::size_t> lengths{64, 256, 1024, 2048, 4096};
+  const std::vector<std::pair<std::string, std::string>> variants{
+      {"saloba-intra", "Intra-query Par."},
+      {"saloba-lazy", "+Lazy spill."},
+      {"saloba", "+Subwarps (SALoBa)"},
+  };
+
+  for (const auto& spec : bench::paper_devices()) {
+    std::printf("=== Fig. 7 (%s) — speedup normalised to GASAL2 ===\n", spec.name.c_str());
+    std::vector<std::string> header{"Variant"};
+    for (auto len : lengths) header.push_back(std::to_string(len) + " bp");
+    util::Table table(header);
+
+    std::vector<double> gasal(lengths.size());
+    for (std::size_t li = 0; li < lengths.size(); ++li) {
+      auto batch =
+          core::make_fig6_batch(genome, lengths[li], bench::pairs_for_length(lengths[li]),
+                                /*seed=*/lengths[li]);
+      gasal[li] = bench::run_kernel("gasal2", spec, batch, scoring).time_ms;
+    }
+    {
+      std::vector<std::string> row{"GASAL2 (Baseline)"};
+      for (std::size_t li = 0; li < lengths.size(); ++li) row.push_back("1.00x");
+      table.add_row(std::move(row));
+    }
+
+    std::vector<double> subwarp_speedups_short;
+    for (const auto& [kernel, label] : variants) {
+      std::vector<std::string> row{label};
+      for (std::size_t li = 0; li < lengths.size(); ++li) {
+        auto batch =
+            core::make_fig6_batch(genome, lengths[li], bench::pairs_for_length(lengths[li]),
+                                  /*seed=*/lengths[li]);
+        auto out = bench::run_kernel(kernel, spec, batch, scoring);
+        double speedup = out.ok ? gasal[li] / out.time_ms : 0.0;
+        row.push_back(util::Table::num(speedup, 2) + "x");
+        if (kernel == "saloba" && lengths[li] <= 1024) {
+          subwarp_speedups_short.push_back(speedup);
+        }
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("geomean full-SALoBa speedup at <=1024 bp: %.2fx (paper: 2.26x GTX1650 / "
+                "2.85x RTX3090)\n\n",
+                util::geomean(subwarp_speedups_short));
+  }
+
+  std::printf(
+      "Expected shape (paper Sec. V-C): subwarp scheduling dominates at short\n"
+      "lengths (intra-query alone is below 1.0x there); intra-query parallelism and\n"
+      "lazy spilling drive the gains at long lengths; the 64 bp outlier reflects\n"
+      "GASAL2's buffer-initialisation overhead, not SALoBa speedup.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig. 8 reproduction: performance on real-world-like workloads.
+//  (a) dataset A' (250 bp short reads) — speedup over GASAL2,
+//  (b) dataset B' (~2 kbp long reads)  — speedup over GASAL2,
+//  (c) sensitivity to subwarp size (8/16/32) on both datasets and devices.
+// Extension jobs come from the seed-and-extend pipeline, so batches carry
+// the true length imbalance of Fig. 2.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/workload.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace saloba;
+
+namespace {
+
+void speedup_panel(const char* title, const seq::PairBatch& batch,
+                   const align::ScoringScheme& scoring) {
+  std::vector<std::string> kernels = bench::comparison_kernels();
+  kernels.push_back("saloba-sw16");  // the paper's best dataset config
+  util::Table table({"Kernel", "GTX1650", "RTX3090"});
+  std::vector<double> gasal(2, 0.0);
+  auto devices = bench::paper_devices();
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    gasal[d] = bench::run_kernel("gasal2", devices[d], batch, scoring).time_ms;
+  }
+  for (const auto& kernel : kernels) {
+    std::vector<std::string> row{kernel == "saloba-sw16" ? "SALoBa" : kernel};
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      auto out = bench::run_kernel(kernel, devices[d], batch, scoring);
+      row.push_back(out.ok ? util::Table::num(gasal[d] / out.time_ms, 2) + "x"
+                           : bench::fmt_time_or_failure(out));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s (speedup over GASAL2; %zu jobs)\n%s\n", title, batch.size(),
+              table.render().c_str());
+}
+
+void subwarp_panel(const char* dataset, const seq::PairBatch& batch,
+                   const align::ScoringScheme& scoring) {
+  util::Table table({"Subwarp size", "GTX1650", "RTX3090"});
+  auto devices = bench::paper_devices();
+  std::vector<double> gasal(2, 0.0);
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    gasal[d] = bench::run_kernel("gasal2", devices[d], batch, scoring).time_ms;
+  }
+  for (const char* cfg : {"saloba-sw8", "saloba-sw16", "saloba-sw32"}) {
+    std::vector<std::string> row{std::string(cfg).substr(9)};  // strip "saloba-sw"
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      auto out = bench::run_kernel(cfg, devices[d], batch, scoring);
+      row.push_back(out.ok ? util::Table::num(gasal[d] / out.time_ms, 2) + "x" : "fail");
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("(c) subwarp sensitivity — %s\n%s\n", dataset, table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("fig8_realworld", "Fig. 8: real-world-like dataset performance");
+  args.add_int("genome", "genome length (bases)", 4 << 20);
+  args.add_int("reads-a", "reads for dataset A'", 1200);
+  args.add_int("reads-b", "reads for dataset B'", 220);
+  if (!args.parse(argc, argv)) return 1;
+
+  align::ScoringScheme scoring;
+  auto genome = core::make_genome(static_cast<std::size_t>(args.get_int("genome")));
+  auto a = core::make_dataset_a(genome, static_cast<std::size_t>(args.get_int("reads-a")));
+  auto b = core::make_dataset_b(genome, static_cast<std::size_t>(args.get_int("reads-b")));
+
+  std::printf("Fig. 8 — real-world-like workloads (pipeline extension jobs)\n");
+  std::printf("dataset A': %zu jobs, mean q=%.0f r=%.0f, CV(q)=%.2f\n", a.stats.jobs,
+              a.stats.mean_query_len, a.stats.mean_ref_len, a.stats.cv_query_len);
+  std::printf("dataset B': %zu jobs, mean q=%.0f r=%.0f, CV(q)=%.2f\n\n", b.stats.jobs,
+              b.stats.mean_query_len, b.stats.mean_ref_len, b.stats.cv_query_len);
+
+  speedup_panel("(a) dataset A' — short reads", a.batch, scoring);
+  speedup_panel("(b) dataset B' — long reads", b.batch, scoring);
+  subwarp_panel("dataset A'", a.batch, scoring);
+  subwarp_panel("dataset B'", b.batch, scoring);
+
+  std::printf(
+      "Expected shape (paper Sec. V-D): SALoBa beats GASAL2 by ~1.2-1.3x on A' and\n"
+      "~2x on B' (imbalance favours SALoBa); SOAP3-dp fails A' on GTX1650; ADEPT and\n"
+      "NVBIO fail B' (length limits); mid-size subwarps win on imbalanced data.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Interactive-ish kernel explorer: run any registered kernel on any device
+// preset at a chosen length, and dump the full execution profile the
+// simulator collected — the tool for studying *why* a strategy is fast.
+//
+//   $ ./kernel_explorer --kernel=saloba --device=gtx1650 --len=512 --pairs=512
+//   $ ./kernel_explorer --list
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "core/workload.hpp"
+#include "kernels/kernel_iface.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace saloba;
+  util::ArgParser args("kernel_explorer", "inspect a kernel's simulated execution profile");
+  args.add_string("kernel", "kernel name (see --list)", "saloba");
+  args.add_string("device", "gtx1650 | rtx3090 | p100 | v100", "gtx1650");
+  args.add_int("len", "sequence length (bp)", 512);
+  args.add_int("pairs", "pairs in the batch", 1024);
+  args.add_flag("list", "list kernel names and exit");
+  if (!args.parse(argc, argv)) return 1;
+
+  if (args.get_flag("list")) {
+    for (const auto& name : kernels::kernel_names()) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+
+  auto genome = core::make_genome(4 << 20);
+  auto batch = core::make_fig6_batch(genome, static_cast<std::size_t>(args.get_int("len")),
+                                     static_cast<std::size_t>(args.get_int("pairs")));
+  auto spec = core::Aligner::device_by_name(args.get_string("device"));
+  align::ScoringScheme scoring;
+
+  auto out = bench::run_kernel(args.get_string("kernel"), spec, batch, scoring, batch.size());
+  if (!out.ok) {
+    std::printf("kernel cannot run this batch: %s\n", out.failure.c_str());
+    return 0;
+  }
+
+  const auto& t = out.breakdown;
+  const auto& s = out.stats.totals;
+  std::printf("%s on %s — %zu pairs x %lld bp\n\n", args.get_string("kernel").c_str(),
+              spec.name.c_str(), batch.size(), static_cast<long long>(args.get_int("len")));
+
+  util::Table time_table({"Component", "ms", "Share"});
+  auto share = [&](double v) {
+    return util::Table::num(100.0 * v / (t.total_ms > 0 ? t.total_ms : 1.0), 1) + "%";
+  };
+  time_table.add_row({"compute (issue+latency)", util::Table::num(t.compute_ms, 4),
+                      share(t.compute_ms)});
+  time_table.add_row({"DRAM roofline", util::Table::num(t.dram_ms, 4), share(t.dram_ms)});
+  time_table.add_row({"launch overhead", util::Table::num(t.launch_ms, 4), share(t.launch_ms)});
+  time_table.add_row({"buffer init", util::Table::num(t.init_ms, 4), share(t.init_ms)});
+  time_table.add_row({"total (max of rooflines + overheads)", util::Table::num(t.total_ms, 4),
+                      "100%"});
+  std::printf("%s\n", time_table.render().c_str());
+
+  util::Table counter_table({"Counter", "Value"});
+  counter_table.add_row({"warps", std::to_string(out.stats.warps)});
+  counter_table.add_row({"warp instructions", std::to_string(s.instructions)});
+  counter_table.add_row({"lane utilization", util::Table::num(s.lane_utilization(32), 3)});
+  counter_table.add_row({"global requests", std::to_string(s.global_requests)});
+  counter_table.add_row({"global transactions", std::to_string(s.global_transactions)});
+  counter_table.add_row({"bytes moved (MB)", util::Table::num(s.global_bytes_moved / 1e6, 2)});
+  counter_table.add_row({"bytes useful (MB)", util::Table::num(s.global_bytes_useful / 1e6, 2)});
+  counter_table.add_row(
+      {"waste factor",
+       util::Table::num(static_cast<double>(s.global_bytes_moved) /
+                            static_cast<double>(std::max<std::uint64_t>(1, s.global_bytes_useful)),
+                        2)});
+  counter_table.add_row({"shared requests", std::to_string(s.shared_requests)});
+  counter_table.add_row({"shared conflict cycles", std::to_string(s.shared_conflict_cycles)});
+  counter_table.add_row({"block syncs", std::to_string(s.syncs)});
+  counter_table.add_row({"DP cells", std::to_string(s.dp_cells)});
+  counter_table.add_row({"sim GCUPS", util::Table::num(static_cast<double>(s.dp_cells) /
+                                                           (out.time_ms * 1e6),
+                                                       1)});
+  std::printf("%s", counter_table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "align/alignment_result.hpp"
+
+#include <sstream>
+
+namespace saloba::align {
+
+std::string format_result(const AlignmentResult& r) {
+  std::ostringstream oss;
+  oss << "score=" << r.score << " ref_end=" << r.ref_end << " query_end=" << r.query_end;
+  return oss.str();
+}
+
+}  // namespace saloba::align

@@ -1,0 +1,47 @@
+// Result of one local (or global) alignment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "align/scoring.hpp"
+
+namespace saloba::align {
+
+struct AlignmentResult {
+  Score score = 0;
+  /// 0-based index of the last aligned reference base (i of the best cell);
+  /// -1 when the best score is 0 (empty local alignment).
+  std::int32_t ref_end = -1;
+  /// 0-based index of the last aligned query base (j of the best cell).
+  std::int32_t query_end = -1;
+
+  bool operator==(const AlignmentResult&) const = default;
+};
+
+/// Canonical tie-break shared by every kernel and the CPU reference:
+/// higher score wins; among equal scores, the smaller ref_end wins, then the
+/// smaller query_end. Because every implementation scans all cells and
+/// applies this same comparison, results are implementation-independent.
+inline bool improves(const AlignmentResult& cand, const AlignmentResult& best) {
+  if (cand.score != best.score) return cand.score > best.score;
+  if (cand.ref_end != best.ref_end) return cand.ref_end < best.ref_end;
+  return cand.query_end < best.query_end;
+}
+
+/// Updates `best` if `cand` improves it.
+inline void take_better(AlignmentResult& best, const AlignmentResult& cand) {
+  if (improves(cand, best)) best = cand;
+}
+
+/// Alignment with full traceback (from align/traceback.hpp).
+struct TracedAlignment {
+  AlignmentResult end;
+  std::int32_t ref_start = -1;    ///< 0-based first aligned reference base
+  std::int32_t query_start = -1;  ///< 0-based first aligned query base
+  std::string cigar;              ///< e.g. "42M1I17M2D8M" (query-centric I/D)
+};
+
+std::string format_result(const AlignmentResult& r);
+
+}  // namespace saloba::align

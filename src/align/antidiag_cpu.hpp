@@ -1,0 +1,22 @@
+// Anti-diagonal (wavefront) CPU implementation of local alignment.
+//
+// This is the CPU analogue of the intra-query parallelism in paper Fig. 3:
+// all cells on diagonal d = i + j depend only on diagonals d-1 and d-2, so
+// they are independent. On a GPU those cells map to lanes; here the layout
+// demonstrates the dependency structure and gives tests a third independent
+// implementation to cross-check (row-major reference, banded, wavefront).
+#pragma once
+
+#include <span>
+
+#include "align/alignment_result.hpp"
+#include "align/scoring.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::align {
+
+AlignmentResult smith_waterman_antidiag(std::span<const seq::BaseCode> ref,
+                                        std::span<const seq::BaseCode> query,
+                                        const ScoringScheme& scoring);
+
+}  // namespace saloba::align

@@ -1,0 +1,25 @@
+#include "align/batch.hpp"
+
+#include "align/sw_reference.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace saloba::align {
+
+std::vector<AlignmentResult> align_batch(const seq::PairBatch& batch,
+                                         const ScoringScheme& scoring, BatchTiming* timing) {
+  util::Timer timer;
+  std::vector<AlignmentResult> results(batch.size());
+  util::parallel_for_indexed(batch.size(), [&](std::size_t i) {
+    results[i] = smith_waterman(batch.refs[i], batch.queries[i], scoring);
+  });
+  if (timing) {
+    timing->wall_ms = timer.millis();
+    timing->cells = batch.total_cells();
+    timing->gcups =
+        timing->wall_ms > 0 ? static_cast<double>(timing->cells) / (timing->wall_ms * 1e6) : 0.0;
+  }
+  return results;
+}
+
+}  // namespace saloba::align

@@ -1,0 +1,88 @@
+#include "align/extension.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace saloba::align {
+namespace {
+constexpr Score kNegInf = std::numeric_limits<Score>::min() / 4;
+}
+
+ExtensionResult extend(std::span<const seq::BaseCode> ref,
+                       std::span<const seq::BaseCode> query, const ScoringScheme& scoring,
+                       const ExtensionParams& params) {
+  SALOBA_CHECK(scoring.valid());
+  const std::size_t n = ref.size();
+  const std::size_t m = query.size();
+  const Score alpha = scoring.alpha();
+  const Score beta = scoring.beta();
+
+  ExtensionResult out;
+  out.score = params.h0;
+  out.to_query_end = params.h0;  // consuming zero bases then stopping
+  out.reached_query_end = m == 0;
+  if (m == 0 || n == 0) return out;
+
+  // Row 0 boundary: gaps off the anchor. H(0, j) = h0 - gap(j), clamped at
+  // -inf once unreachable; same for the first column.
+  std::vector<Score> h_row(m + 1), f_col(m + 1, kNegInf);
+  h_row[0] = params.h0;
+  for (std::size_t j = 1; j <= m; ++j) {
+    Score gap = alpha + static_cast<Score>(j - 1) * beta;
+    h_row[j] = params.h0 >= gap ? params.h0 - gap : kNegInf;
+  }
+  // The pure-insertion path "reaches" the query end too.
+  if (h_row[m] > kNegInf) out.to_query_end = std::max(out.to_query_end, h_row[m]);
+
+  Score best_possible_row_start = params.h0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Score gap = alpha + static_cast<Score>(i) * beta;
+    Score h_first = best_possible_row_start >= 0 && params.h0 >= gap ? params.h0 - gap
+                                                                      : kNegInf;
+    Score h_diag = h_row[0];
+    h_row[0] = h_first;
+    Score h_left = h_first;
+    Score e = kNegInf;
+    Score row_best = kNegInf;
+
+    for (std::size_t j = 0; j < m; ++j) {
+      e = std::max(h_left - alpha, e - beta);
+      Score f = std::max(h_row[j + 1] - alpha, f_col[j + 1] - beta);
+      Score sub = h_diag == kNegInf ? kNegInf
+                                    : h_diag + scoring.substitution(ref[i], query[j]);
+      Score h = std::max({sub, e, f});
+      h_diag = h_row[j + 1];
+      h_row[j + 1] = h;
+      f_col[j + 1] = f;
+      h_left = h;
+      ++out.cells_computed;
+      row_best = std::max(row_best, h);
+
+      if (h > out.score) {
+        out.score = h;
+        out.ref_used = static_cast<std::int32_t>(i) + 1;
+        out.query_used = static_cast<std::int32_t>(j) + 1;
+      }
+    }
+    if (h_row[m] > kNegInf) {
+      if (h_row[m] > out.to_query_end || !out.reached_query_end) {
+        out.to_query_end = std::max(out.to_query_end, h_row[m]);
+      }
+      out.reached_query_end = true;
+    }
+
+    // Z-drop: once even this row's best trails the global best by more
+    // than zdrop, further rows cannot recover (scores only decay with
+    // distance), so cut the sweep — BWA-MEM's pruning heuristic.
+    if (params.zdrop > 0 && row_best < out.score - params.zdrop) {
+      out.zdropped = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace saloba::align

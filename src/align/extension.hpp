@@ -1,0 +1,49 @@
+// Seed-extension alignment with BWA-MEM semantics: extend outward from a
+// seed anchored at (0,0) of the extension pair, with
+//   * "to-end" scoring that can reward reaching the query end (the global
+//     part of glocal alignment), and
+//   * Z-drop early termination: stop exploring rows once the running best
+//     falls more than `zdrop` below the row maximum's trajectory — the
+//     heuristic BWA-MEM uses to avoid chasing hopeless extensions.
+//
+// Unlike plain local alignment, the extension is anchored: cell (0,0)'s
+// predecessor is the seed boundary with score `h0`, and alignments must
+// start there.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "align/alignment_result.hpp"
+#include "align/scoring.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::align {
+
+struct ExtensionParams {
+  Score h0 = 0;       ///< score carried in from the seed
+  Score zdrop = 100;  ///< <=0 disables early termination
+};
+
+struct ExtensionResult {
+  /// Best extension score including h0 (>= h0: extending never loses the
+  /// seed's score — stopping at the seed is always allowed).
+  Score score = 0;
+  /// Bases consumed when the best score was reached (0 = stop at the seed).
+  std::int32_t query_used = 0;
+  std::int32_t ref_used = 0;
+  /// Score of the best alignment reaching the query end (for glocal
+  /// decisions); kBoundaryUnreachable when zdrop cut the search first.
+  Score to_query_end = 0;
+  bool reached_query_end = false;
+  /// True when zdrop terminated the sweep early.
+  bool zdropped = false;
+  std::size_t cells_computed = 0;
+};
+
+/// Extends from the anchor across ref (rows) x query (columns).
+ExtensionResult extend(std::span<const seq::BaseCode> ref,
+                       std::span<const seq::BaseCode> query, const ScoringScheme& scoring,
+                       const ExtensionParams& params);
+
+}  // namespace saloba::align

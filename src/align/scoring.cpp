@@ -1,0 +1,16 @@
+#include "align/scoring.hpp"
+
+namespace saloba::align {
+
+ScoringScheme default_scheme() { return ScoringScheme{}; }
+
+ScoringScheme long_read_scheme() {
+  ScoringScheme s;
+  s.match = 2;
+  s.mismatch = 5;
+  s.gap_open = 4;
+  s.gap_extend = 2;
+  return s;
+}
+
+}  // namespace saloba::align

@@ -1,0 +1,27 @@
+// Striped Smith–Waterman (Farrar, 2007) — the SIMD-friendly CPU layout used
+// by production aligners (SSW, BWA-MEM's ksw). The query is split into
+// `kStripeLanes` interleaved segments so the inner loop is a chain of
+// independent lane-wise operations the compiler can vectorise; the F
+// dependency is resolved by Farrar's lazy-F correction loop.
+//
+// Score-only (no end positions): the striped layout trades positional
+// bookkeeping for throughput, exactly like the production implementations.
+// Verified against the scalar reference in tests.
+#pragma once
+
+#include <span>
+
+#include "align/alignment_result.hpp"
+#include "align/scoring.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::align {
+
+inline constexpr int kStripeLanes = 8;
+
+/// Local-alignment score via the striped layout.
+Score smith_waterman_striped(std::span<const seq::BaseCode> ref,
+                             std::span<const seq::BaseCode> query,
+                             const ScoringScheme& scoring);
+
+}  // namespace saloba::align

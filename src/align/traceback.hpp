@@ -1,0 +1,33 @@
+// Full-matrix traceback producing CIGAR strings. O(N*M) memory — intended
+// for reporting/examples on moderate lengths, not for the batch hot path
+// (the paper's kernels are score-only, as is ours).
+#pragma once
+
+#include <span>
+
+#include "align/alignment_result.hpp"
+#include "align/scoring.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::align {
+
+/// Local alignment with traceback. CIGAR uses M (match/mismatch), I
+/// (insertion in query = gap in reference), D (deletion from query = gap in
+/// query consuming reference), query-centric as in SAM.
+TracedAlignment smith_waterman_traceback(std::span<const seq::BaseCode> ref,
+                                         std::span<const seq::BaseCode> query,
+                                         const ScoringScheme& scoring);
+
+/// Expands "3M1I2M" to "MMMIMM" (test helper; throws on malformed input).
+std::string expand_cigar(const std::string& cigar);
+
+/// Validates a CIGAR against sequence spans: M/I consume query, M/D consume
+/// reference; returns false on any inconsistency.
+bool cigar_consistent(const TracedAlignment& aln, std::size_t ref_len, std::size_t query_len);
+
+/// Recomputes the alignment score implied by a traced alignment (walks the
+/// CIGAR over the sequences). Used to cross-check traceback correctness.
+Score rescore_cigar(const TracedAlignment& aln, std::span<const seq::BaseCode> ref,
+                    std::span<const seq::BaseCode> query, const ScoringScheme& scoring);
+
+}  // namespace saloba::align

@@ -1,0 +1,61 @@
+// saloba::core::Aligner — the library's front door.
+//
+//   saloba::core::AlignerOptions opts;           // CPU backend by default
+//   saloba::core::Aligner aligner(opts);
+//   auto out = aligner.align(batch);             // results + timing
+//
+// Switching `opts.backend` to kSimulated runs the same batch through any of
+// the reproduced GPU kernels on a simulated device and reports simulated
+// kernel time plus the execution counters behind it.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "align/alignment_result.hpp"
+#include "core/options.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/kernel_iface.hpp"
+#include "seq/sequence.hpp"
+
+namespace saloba::core {
+
+struct AlignOutput {
+  std::vector<align::AlignmentResult> results;
+  /// Wall-clock milliseconds for the CPU backend; simulated kernel
+  /// milliseconds for the simulated backend.
+  double time_ms = 0.0;
+  std::size_t cells = 0;
+  double gcups = 0.0;  ///< giga cell-updates per second at `time_ms`
+  /// Simulated backend only.
+  std::optional<gpusim::KernelStats> kernel_stats;
+  std::optional<gpusim::TimeBreakdown> time_breakdown;
+};
+
+class Aligner {
+ public:
+  explicit Aligner(AlignerOptions options);
+  ~Aligner();
+  Aligner(Aligner&&) noexcept;
+  Aligner& operator=(Aligner&&) noexcept;
+
+  const AlignerOptions& options() const { return options_; }
+
+  /// Aligns every (query, reference) pair in the batch.
+  /// Simulated backend may throw kernels::KernelUnsupportedError or
+  /// gpusim::DeviceOomError, faithfully to the modelled library.
+  AlignOutput align(const seq::PairBatch& batch);
+
+  /// Resolves a device preset by name; throws std::invalid_argument on
+  /// unknown names.
+  static gpusim::DeviceSpec device_by_name(const std::string& name);
+
+ private:
+  AlignerOptions options_;
+  std::unique_ptr<gpusim::Device> device_;      // simulated backend only
+  kernels::KernelPtr kernel_;                   // simulated backend only
+};
+
+}  // namespace saloba::core

@@ -1,0 +1,25 @@
+#include "core/autotune.hpp"
+
+namespace saloba::core {
+
+int recommend_subwarp_size(const DatasetStats& stats) {
+  const double mean_len = stats.mean_query_len;
+  const double imbalance = stats.cv_query_len;
+  // Long queries amortise the prologue regardless; imbalance then argues
+  // for wider subwarps (fewer queries sharing a warp).
+  if (mean_len >= 512.0) {
+    return imbalance > 1.0 ? 32 : 16;
+  }
+  // Short queries: prologue waste dominates unless imbalance is extreme.
+  if (imbalance > 1.5) return 16;
+  return 8;
+}
+
+kernels::SalobaConfig recommend_config(const DatasetStats& stats) {
+  kernels::SalobaConfig config;
+  config.subwarp_size = recommend_subwarp_size(stats);
+  config.lazy_spill = true;
+  return config;
+}
+
+}  // namespace saloba::core

@@ -1,0 +1,4 @@
+#include "core/options.hpp"
+
+// Currently header-only; this TU reserves room for option parsing/validation
+// helpers and keeps the build layout uniform (one .cpp per public header).

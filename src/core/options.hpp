@@ -1,0 +1,26 @@
+// Configuration of the public saloba::Aligner facade.
+#pragma once
+
+#include <string>
+
+#include "align/scoring.hpp"
+
+namespace saloba::core {
+
+enum class Backend {
+  kCpu,        ///< OpenMP batch aligner on the host (real wall-clock time)
+  kSimulated,  ///< a kernel on the simulated GPU (simulated kernel time)
+};
+
+struct AlignerOptions {
+  Backend backend = Backend::kCpu;
+  /// Kernel name for the simulated backend (see kernels::kernel_names()).
+  std::string kernel = "saloba";
+  /// Device preset: "gtx1650", "rtx3090", "p100", "v100".
+  std::string device = "rtx3090";
+  align::ScoringScheme scoring;
+  /// Paper-scale batch size used for footprint checks (0 = actual batch).
+  std::size_t nominal_batch_pairs = 0;
+};
+
+}  // namespace saloba::core

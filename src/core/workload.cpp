@@ -1,0 +1,77 @@
+#include "core/workload.hpp"
+
+#include <algorithm>
+
+#include "seedext/pipeline.hpp"
+#include "seq/random_genome.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace saloba::core {
+namespace {
+
+DatasetBatch jobs_to_dataset(std::vector<seedext::ExtensionJob> jobs, std::size_t reads) {
+  DatasetBatch out;
+  std::vector<double> qlens, rlens;
+  qlens.reserve(jobs.size());
+  rlens.reserve(jobs.size());
+  for (auto& j : jobs) {
+    if (j.query.empty() || j.ref.empty()) continue;
+    qlens.push_back(static_cast<double>(j.query.size()));
+    rlens.push_back(static_cast<double>(j.ref.size()));
+    out.stats.max_query_len = std::max(out.stats.max_query_len, j.query.size());
+    out.stats.max_ref_len = std::max(out.stats.max_ref_len, j.ref.size());
+    out.batch.add(std::move(j.query), std::move(j.ref));
+  }
+  out.stats.reads = reads;
+  out.stats.jobs = out.batch.size();
+  out.stats.mean_query_len = util::mean(qlens);
+  out.stats.mean_ref_len = util::mean(rlens);
+  out.stats.cv_query_len = util::coeff_variation(qlens);
+  out.stats.cv_ref_len = util::coeff_variation(rlens);
+  return out;
+}
+
+DatasetBatch make_dataset(const std::vector<seq::BaseCode>& genome, std::size_t reads,
+                          const seq::ReadProfile& profile, std::uint64_t seed) {
+  seq::ReadSimulator sim(genome, profile, seed);
+  auto simulated = sim.simulate(reads);
+  std::vector<std::vector<seq::BaseCode>> read_seqs;
+  read_seqs.reserve(simulated.size());
+  for (auto& r : simulated) read_seqs.push_back(std::move(r.read.bases));
+
+  seedext::MapperParams params;
+  // Long noisy reads need shorter exact seeds to anchor at all.
+  if (profile.error_rate > 0.05) {
+    params.k = 13;
+    params.seeding.min_seed_len = 14;
+  }
+  seedext::ReadMapper mapper(genome, params);
+  return jobs_to_dataset(mapper.collect_jobs(read_seqs), reads);
+}
+
+}  // namespace
+
+std::vector<seq::BaseCode> make_genome(std::size_t length, std::uint64_t seed) {
+  seq::GenomeParams params;
+  params.length = length;
+  params.seed = seed;
+  return seq::generate_genome(params);
+}
+
+seq::PairBatch make_fig6_batch(const std::vector<seq::BaseCode>& genome, std::size_t len,
+                               std::size_t pairs, std::uint64_t seed) {
+  return seq::make_equal_length_batch(genome, len, pairs, /*divergence=*/0.005, seed);
+}
+
+DatasetBatch make_dataset_a(const std::vector<seq::BaseCode>& genome, std::size_t reads,
+                            std::uint64_t seed) {
+  return make_dataset(genome, reads, seq::ReadProfile::illumina_250bp(), seed);
+}
+
+DatasetBatch make_dataset_b(const std::vector<seq::BaseCode>& genome, std::size_t reads,
+                            std::uint64_t seed) {
+  return make_dataset(genome, reads, seq::ReadProfile::pacbio_2kbp(), seed);
+}
+
+}  // namespace saloba::core

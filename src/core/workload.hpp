@@ -1,0 +1,49 @@
+// Workload builders shared by benches, examples and integration tests:
+// the Fig. 6 equal-length sweeps and the dataset A'/B' real-world stand-ins
+// (Sec. V-B/V-D substitutions; see DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seedext/extension_jobs.hpp"
+#include "seq/read_simulator.hpp"
+#include "seq/sequence.hpp"
+
+namespace saloba::core {
+
+/// A cached synthetic genome (deterministic in `seed`).
+std::vector<seq::BaseCode> make_genome(std::size_t length, std::uint64_t seed = 42);
+
+/// Fig. 6 workload: `pairs` equal-length (query, reference) pairs of `len`
+/// bases sampled from the genome with ~0.5% divergence.
+seq::PairBatch make_fig6_batch(const std::vector<seq::BaseCode>& genome, std::size_t len,
+                               std::size_t pairs, std::uint64_t seed = 1);
+
+struct DatasetStats {
+  std::size_t reads = 0;
+  std::size_t jobs = 0;
+  double mean_query_len = 0.0;
+  double mean_ref_len = 0.0;
+  double cv_query_len = 0.0;  ///< coefficient of variation — imbalance proxy
+  double cv_ref_len = 0.0;
+  std::size_t max_query_len = 0;
+  std::size_t max_ref_len = 0;
+};
+
+struct DatasetBatch {
+  seq::PairBatch batch;
+  DatasetStats stats;
+};
+
+/// Dataset A' (SRR835433 stand-in): 250 bp Illumina-like reads through the
+/// seed-and-extend pipeline; returns the extension-job batch.
+DatasetBatch make_dataset_a(const std::vector<seq::BaseCode>& genome, std::size_t reads,
+                            std::uint64_t seed = 2);
+
+/// Dataset B' (SRP091981 stand-in): ~2 kbp PacBio-like reads.
+DatasetBatch make_dataset_b(const std::vector<seq::BaseCode>& genome, std::size_t reads,
+                            std::uint64_t seed = 3);
+
+}  // namespace saloba::core

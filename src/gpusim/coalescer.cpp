@@ -1,0 +1,39 @@
+#include "gpusim/coalescer.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace saloba::gpusim {
+
+CoalesceResult coalesce(std::span<const MemAccess> accesses, int granularity) {
+  SALOBA_DCHECK(granularity > 0 && (granularity & (granularity - 1)) == 0);
+  CoalesceResult out;
+  // A warp has at most 32 lanes and each lane access spans a handful of
+  // segments, so a small sorted scratch array beats a hash set.
+  std::uint64_t segments[256];
+  std::size_t count = 0;
+  const std::uint64_t shift_mask = static_cast<std::uint64_t>(granularity) - 1;
+
+  for (const auto& a : accesses) {
+    if (a.size == 0) continue;
+    out.bytes_useful += a.size;
+    std::uint64_t first = a.addr & ~shift_mask;
+    std::uint64_t last = (a.addr + a.size - 1) & ~shift_mask;
+    for (std::uint64_t seg = first; seg <= last; seg += static_cast<std::uint64_t>(granularity)) {
+      if (count < sizeof(segments) / sizeof(segments[0])) {
+        segments[count++] = seg;
+      }
+    }
+  }
+  std::sort(segments, segments + count);
+  std::uint64_t unique = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i == 0 || segments[i] != segments[i - 1]) ++unique;
+  }
+  out.transactions = unique;
+  out.bytes_moved = unique * static_cast<std::uint64_t>(granularity);
+  return out;
+}
+
+}  // namespace saloba::gpusim

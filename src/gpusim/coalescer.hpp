@@ -1,0 +1,30 @@
+// Global-memory coalescing model.
+//
+// A warp memory instruction presents one access per active lane. The
+// memory subsystem services the union of touched aligned segments of
+// `granularity` bytes; each segment is one transaction. This is the standard
+// CUDA coalescing rule and exactly the accounting behind paper Table I
+// (4 B of useful data can cost a 128 B or 32 B transaction).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace saloba::gpusim {
+
+struct MemAccess {
+  std::uint64_t addr = 0;
+  std::uint32_t size = 0;  ///< bytes; 0 = lane inactive for this instruction
+};
+
+struct CoalesceResult {
+  std::uint64_t transactions = 0;
+  std::uint64_t bytes_moved = 0;   ///< transactions * granularity
+  std::uint64_t bytes_useful = 0;  ///< sum of requested sizes
+};
+
+/// Coalesces one warp instruction's accesses at the given transaction
+/// granularity (must be a power of two).
+CoalesceResult coalesce(std::span<const MemAccess> accesses, int granularity);
+
+}  // namespace saloba::gpusim

@@ -1,0 +1,111 @@
+// The simulated device: memory allocation (with OOM, for the paper's
+// "bounded device memory" failures) and kernel launches.
+//
+// A kernel is a function invoked once per block; it drives each warp of the
+// block through WarpContext. Blocks execute host-parallel (OpenMP) — they
+// are independent by construction, like real CUDA blocks. Determinism:
+// block bodies may only touch block-owned state and their own output slots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+#include "gpusim/occupancy.hpp"
+#include "gpusim/warp.hpp"
+
+namespace saloba::gpusim {
+
+/// A simulated device allocation: a range of device address space. The
+/// simulator is functional-on-host, so no bytes live here — kernels use the
+/// base address to derive realistic per-lane addresses for the coalescer.
+struct DeviceMem {
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+};
+
+class DeviceOomError : public std::runtime_error {
+ public:
+  DeviceOomError(std::uint64_t requested, std::uint64_t in_use, std::uint64_t capacity);
+  std::uint64_t requested, in_use, capacity;
+};
+
+/// Per-block view handed to kernel bodies.
+class BlockContext {
+ public:
+  BlockContext(std::uint32_t block_id, int warps_per_block, const DeviceSpec& spec);
+
+  std::uint32_t block_id() const { return block_id_; }
+  int warps_per_block() const { return static_cast<int>(warps_.size()); }
+  WarpContext& warp(int w);
+
+  /// Block-wide barrier: every warp pays a sync.
+  void syncthreads();
+
+  /// Internal: aggregate after the body ran.
+  BlockCost block_cost(const DeviceSpec& spec, const CostParams& params,
+                       int resident_warps_per_sm) const;
+  void collect(KernelStats& into) const;
+
+ private:
+  std::uint32_t block_id_;
+  std::vector<WarpContext> warps_;
+};
+
+struct LaunchConfig {
+  std::string label = "kernel";
+  std::uint32_t blocks = 1;
+  int threads_per_block = 128;
+  std::size_t shared_bytes_per_block = 0;
+  /// One-time buffer-initialisation bytes charged to this launch (cudaMemset
+  /// style); reproduces GASAL2's fixed startup cost.
+  std::uint64_t init_bytes = 0;
+};
+
+struct LaunchResult {
+  KernelStats stats;
+  Occupancy occupancy;
+  TimeBreakdown time;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec, CostParams params = CostParams{});
+
+  const DeviceSpec& spec() const { return spec_; }
+  const CostParams& cost_params() const { return params_; }
+
+  /// Throws DeviceOomError when the footprint would exceed device DRAM.
+  DeviceMem alloc(std::uint64_t bytes, const std::string& label = "");
+  void free(const DeviceMem& mem);
+  std::uint64_t bytes_in_use() const { return in_use_; }
+
+  using BlockFn = std::function<void(BlockContext&)>;
+  /// Runs the kernel and estimates its time. The body runs once per block,
+  /// potentially in host-parallel.
+  LaunchResult launch(const LaunchConfig& config, const BlockFn& body);
+
+ private:
+  DeviceSpec spec_;
+  CostParams params_;
+  std::uint64_t next_base_ = 0x10000000ULL;  // arbitrary non-zero device VA base
+  std::uint64_t in_use_ = 0;
+};
+
+/// Accumulates multiple launches into one logical kernel execution (SW#-like
+/// launches one kernel per anti-diagonal partition; its total is the sum).
+struct RunAccumulator {
+  KernelStats stats;
+  TimeBreakdown time;
+  std::uint64_t launches = 0;
+
+  void add(const LaunchResult& r);
+};
+
+}  // namespace saloba::gpusim

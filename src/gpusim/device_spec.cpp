@@ -1,0 +1,83 @@
+#include "gpusim/device_spec.hpp"
+
+namespace saloba::gpusim {
+
+DeviceSpec DeviceSpec::gtx1650() {
+  DeviceSpec d;
+  d.name = "GTX1650";
+  d.sm_count = 14;
+  d.schedulers_per_sm = 4;
+  d.max_threads_per_sm = 1024;
+  d.max_blocks_per_sm = 16;
+  d.shared_mem_per_sm = 64 << 10;
+  d.shared_mem_per_block = 48 << 10;
+  d.dram_bytes = 4ULL << 30;
+  d.mem_bandwidth_gbps = 128.1;
+  d.core_clock_ghz = 1.665;
+  d.mem_access_granularity = 32;  // Turing inherits Volta's 32 B sectors
+  d.mem_latency_cycles = 400.0;
+  d.peak_tflops = 2.98;
+  d.l2_waste_absorb = 0.92;  // calibrated: GASAL2/SALoBa ratio at 512 bp (Fig. 6a)
+  d.l2_hit_rate = 0.35;
+  return d;
+}
+
+DeviceSpec DeviceSpec::rtx3090() {
+  DeviceSpec d;
+  d.name = "RTX3090";
+  d.sm_count = 82;
+  d.schedulers_per_sm = 4;
+  d.max_threads_per_sm = 1536;
+  d.max_blocks_per_sm = 16;
+  d.shared_mem_per_sm = 100 << 10;
+  d.shared_mem_per_block = 99 << 10;
+  d.dram_bytes = 24ULL << 30;
+  d.mem_bandwidth_gbps = 936.2;
+  d.core_clock_ghz = 1.695;
+  d.mem_access_granularity = 32;
+  d.mem_latency_cycles = 470.0;  // GDDR6X round trip is a bit longer
+  d.peak_tflops = 35.58;
+  d.l2_waste_absorb = 0.88;  // calibrated: the 6 MB-L2 part absorbs less per SM
+  d.l2_hit_rate = 0.2;
+  return d;
+}
+
+DeviceSpec DeviceSpec::pascal_p100() {
+  DeviceSpec d;
+  d.name = "P100";
+  d.sm_count = 56;
+  d.schedulers_per_sm = 2;
+  d.max_threads_per_sm = 2048;
+  d.max_blocks_per_sm = 32;
+  d.shared_mem_per_sm = 64 << 10;
+  d.shared_mem_per_block = 48 << 10;
+  d.dram_bytes = 16ULL << 30;
+  d.mem_bandwidth_gbps = 732.0;
+  d.core_clock_ghz = 1.48;
+  d.mem_access_granularity = 128;  // pre-Volta: full 128 B lines (Table I)
+  d.mem_latency_cycles = 440.0;
+  d.peak_tflops = 9.5;
+  d.l2_hit_rate = 0.25;
+  return d;
+}
+
+DeviceSpec DeviceSpec::volta_v100() {
+  DeviceSpec d;
+  d.name = "V100";
+  d.sm_count = 80;
+  d.schedulers_per_sm = 4;
+  d.max_threads_per_sm = 2048;
+  d.max_blocks_per_sm = 32;
+  d.shared_mem_per_sm = 96 << 10;
+  d.shared_mem_per_block = 96 << 10;
+  d.dram_bytes = 16ULL << 30;
+  d.mem_bandwidth_gbps = 900.0;
+  d.core_clock_ghz = 1.53;
+  d.mem_access_granularity = 32;  // Volta introduced 32 B sectors
+  d.mem_latency_cycles = 425.0;
+  d.peak_tflops = 14.1;
+  d.l2_hit_rate = 0.25;
+  return d;
+}
+
+}  // namespace saloba::gpusim

@@ -1,0 +1,38 @@
+// Per-warp event counters and kernel-level aggregates. These are the raw
+// measurements the cost model converts into simulated time, and the
+// quantities bench/table1_memory reports against the paper's formulas.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace saloba::gpusim {
+
+struct WarpCounters {
+  std::uint64_t instructions = 0;        ///< warp-wide issue slots (divergence included)
+  std::uint64_t active_lane_ops = 0;     ///< Σ active lanes over those slots
+  std::uint64_t global_requests = 0;     ///< warp memory instructions to global
+  std::uint64_t global_transactions = 0;
+  std::uint64_t global_bytes_moved = 0;  ///< includes granularity waste
+  std::uint64_t global_bytes_useful = 0;
+  std::uint64_t shared_requests = 0;
+  std::uint64_t shared_conflict_cycles = 0;  ///< extra cycles from bank conflicts
+  std::uint64_t syncs = 0;
+  std::uint64_t dp_cells = 0;            ///< functional work: DP cells computed
+
+  void merge(const WarpCounters& other);
+
+  /// Mean active lanes per issued instruction, in [0,1] relative to 32.
+  double lane_utilization(int warp_size) const;
+};
+
+struct KernelStats {
+  WarpCounters totals;
+  std::uint64_t warps = 0;
+  std::uint64_t blocks = 0;
+
+  void merge(const KernelStats& other);
+  std::string summary(int warp_size) const;
+};
+
+}  // namespace saloba::gpusim

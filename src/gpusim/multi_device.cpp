@@ -1,0 +1,50 @@
+#include "gpusim/multi_device.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace saloba::gpusim {
+
+std::vector<std::size_t> shard_order(const seq::PairBatch& batch, SplitPolicy policy) {
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (policy == SplitPolicy::kSorted) {
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return batch.queries[a].size() * batch.refs[a].size() >
+             batch.queries[b].size() * batch.refs[b].size();
+    });
+  }
+  return order;
+}
+
+ShardResult dispatch_shards(
+    const seq::PairBatch& batch, int devices, SplitPolicy policy,
+    const std::function<double(const seq::PairBatch&)>& run_shard) {
+  SALOBA_CHECK_MSG(devices >= 1, "need at least one device");
+  auto order = shard_order(batch, policy);
+
+  ShardResult out;
+  out.shard_ms.reserve(static_cast<std::size_t>(devices));
+  for (int d = 0; d < devices; ++d) {
+    seq::PairBatch shard;
+    for (std::size_t i = static_cast<std::size_t>(d); i < order.size();
+         i += static_cast<std::size_t>(devices)) {
+      shard.add(batch.queries[order[i]], batch.refs[order[i]]);
+    }
+    double ms = shard.size() > 0 ? run_shard(shard) : 0.0;
+    out.shard_ms.push_back(ms);
+    out.makespan_ms = std::max(out.makespan_ms, ms);
+  }
+  double sum = 0.0;
+  int busy = 0;
+  for (double ms : out.shard_ms) {
+    sum += ms;
+    busy += ms > 0.0;
+  }
+  out.imbalance = busy > 0 && sum > 0.0 ? out.makespan_ms / (sum / busy) : 0.0;
+  return out;
+}
+
+}  // namespace saloba::gpusim

@@ -1,0 +1,37 @@
+// Multi-GPU dispatch (paper Sec. VII-C): split a batch across several
+// simulated devices and report the makespan. Policies implement the paper's
+// discussion — naive static splitting vs. approximate sorting to narrow the
+// inter-device imbalance.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "gpusim/device_spec.hpp"
+#include "seq/sequence.hpp"
+
+namespace saloba::gpusim {
+
+enum class SplitPolicy {
+  kStatic,  ///< round-robin in input order (the paper's "splitting into equal numbers")
+  kSorted,  ///< round-robin after sorting by DP area, descending ("approximate sorting")
+};
+
+struct ShardResult {
+  std::vector<double> shard_ms;  ///< per-device simulated time
+  double makespan_ms = 0.0;      ///< max over devices
+  double imbalance = 0.0;        ///< makespan / mean shard time
+};
+
+/// Splits `batch` into `devices` shards by `policy` and runs `run_shard`
+/// (typically a kernel invocation on a fresh Device) on each; aggregates
+/// the simulated times.
+ShardResult dispatch_shards(
+    const seq::PairBatch& batch, int devices, SplitPolicy policy,
+    const std::function<double(const seq::PairBatch&)>& run_shard);
+
+/// The shard index sequence a policy produces (exposed for tests).
+std::vector<std::size_t> shard_order(const seq::PairBatch& batch, SplitPolicy policy);
+
+}  // namespace saloba::gpusim

@@ -1,0 +1,31 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace saloba::gpusim {
+
+Occupancy compute_occupancy(const DeviceSpec& spec, int threads_per_block,
+                            std::size_t shared_bytes_per_block) {
+  SALOBA_CHECK_MSG(threads_per_block > 0 && threads_per_block % spec.warp_size == 0,
+                   "threads_per_block must be a positive multiple of the warp size, got "
+                       << threads_per_block);
+  SALOBA_CHECK_MSG(shared_bytes_per_block <= spec.shared_mem_per_block,
+                   "block requests " << shared_bytes_per_block
+                                     << " B shared memory, device allows "
+                                     << spec.shared_mem_per_block);
+  Occupancy occ;
+  occ.limited_by_threads = spec.max_threads_per_sm / threads_per_block;
+  occ.limited_by_blocks = spec.max_blocks_per_sm;
+  occ.limited_by_shared =
+      shared_bytes_per_block == 0
+          ? spec.max_blocks_per_sm
+          : static_cast<int>(spec.shared_mem_per_sm / shared_bytes_per_block);
+  occ.blocks_per_sm =
+      std::max(0, std::min({occ.limited_by_threads, occ.limited_by_blocks, occ.limited_by_shared}));
+  occ.warps_per_sm = occ.blocks_per_sm * (threads_per_block / spec.warp_size);
+  return occ;
+}
+
+}  // namespace saloba::gpusim

@@ -1,0 +1,30 @@
+// Occupancy calculation: how many blocks of a given shape fit on one SM,
+// limited by threads, block slots, and shared memory — the three limits that
+// matter for our kernels (no register model; none of the reproduced kernels
+// is register-limited at the paper's configurations).
+#pragma once
+
+#include <cstddef>
+
+#include "gpusim/device_spec.hpp"
+
+namespace saloba::gpusim {
+
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int warps_per_sm = 0;
+  int limited_by_threads = 0;  ///< the three candidate limits, for reporting
+  int limited_by_blocks = 0;
+  int limited_by_shared = 0;
+
+  double warp_occupancy(const DeviceSpec& spec) const {
+    int max_warps = spec.max_threads_per_sm / spec.warp_size;
+    return max_warps > 0 ? static_cast<double>(warps_per_sm) / max_warps : 0.0;
+  }
+};
+
+/// threads_per_block must be a multiple of the warp size.
+Occupancy compute_occupancy(const DeviceSpec& spec, int threads_per_block,
+                            std::size_t shared_bytes_per_block);
+
+}  // namespace saloba::gpusim

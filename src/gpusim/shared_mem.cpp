@@ -1,0 +1,36 @@
+#include "gpusim/shared_mem.hpp"
+
+#include <algorithm>
+
+namespace saloba::gpusim {
+
+int shared_conflict_degree(std::span<const SharedAccess> accesses) {
+  // Collect distinct words per bank. Warp instructions touch at most
+  // 32 lanes x a few words; fixed scratch arrays suffice.
+  std::uint32_t words[kSharedBanks][64];
+  int counts[kSharedBanks] = {};
+
+  for (const auto& a : accesses) {
+    if (a.size == 0) continue;
+    std::uint32_t first = a.offset / kSharedBankWidth;
+    std::uint32_t last = (a.offset + a.size - 1) / kSharedBankWidth;
+    for (std::uint32_t w = first; w <= last; ++w) {
+      int bank = static_cast<int>(w % kSharedBanks);
+      bool seen = false;
+      for (int i = 0; i < counts[bank]; ++i) {
+        if (words[bank][i] == w) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen && counts[bank] < 64) {
+        words[bank][counts[bank]++] = w;
+      }
+    }
+  }
+  int degree = 0;
+  for (int b = 0; b < kSharedBanks; ++b) degree = std::max(degree, counts[b]);
+  return std::max(degree, 1);
+}
+
+}  // namespace saloba::gpusim

@@ -1,0 +1,25 @@
+// Shared-memory bank-conflict model: 32 banks, 4-byte wide. A warp
+// instruction accessing k distinct words in the same bank replays k times;
+// lanes reading the *same* word broadcast (no conflict). Used to check the
+// paper's Sec. IV-A claim that SALoBa's rotation is conflict-free.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace saloba::gpusim {
+
+inline constexpr int kSharedBanks = 32;
+inline constexpr int kSharedBankWidth = 4;  // bytes
+
+/// Conflict degree of one warp shared-memory instruction: the maximum number
+/// of *distinct* 4-byte words mapped to any single bank. 1 = conflict-free.
+/// Offsets are byte offsets; entries of size 0 mark inactive lanes.
+struct SharedAccess {
+  std::uint32_t offset = 0;
+  std::uint32_t size = 0;
+};
+
+int shared_conflict_degree(std::span<const SharedAccess> accesses);
+
+}  // namespace saloba::gpusim

@@ -1,0 +1,65 @@
+#include "gpusim/warp.hpp"
+
+namespace saloba::gpusim {
+
+void WarpContext::issue(std::uint64_t n, int active_lanes) {
+  counters_.instructions += n;
+  counters_.active_lane_ops += n * static_cast<std::uint64_t>(active_lanes);
+}
+
+void WarpContext::account_mem(std::span<const MemAccess> accesses) {
+  CoalesceResult r = coalesce(accesses, granularity_);
+  int active = 0;
+  for (const auto& a : accesses) {
+    if (a.size != 0) ++active;
+  }
+  counters_.instructions += 1;
+  counters_.active_lane_ops += static_cast<std::uint64_t>(active);
+  counters_.global_requests += 1;
+  counters_.global_transactions += r.transactions;
+  counters_.global_bytes_moved += r.bytes_moved;
+  counters_.global_bytes_useful += r.bytes_useful;
+}
+
+void WarpContext::global_read(std::span<const MemAccess> accesses) { account_mem(accesses); }
+
+void WarpContext::global_read_cached(std::span<const MemAccess> accesses) {
+  std::uint64_t useful = 0;
+  int active = 0;
+  for (const auto& a : accesses) {
+    if (a.size != 0) {
+      useful += a.size;
+      ++active;
+    }
+  }
+  std::uint64_t trans = (useful + static_cast<std::uint64_t>(granularity_) - 1) /
+                        static_cast<std::uint64_t>(granularity_);
+  counters_.instructions += 1;
+  counters_.active_lane_ops += static_cast<std::uint64_t>(active);
+  counters_.global_requests += 1;
+  counters_.global_transactions += trans;
+  counters_.global_bytes_moved += trans * static_cast<std::uint64_t>(granularity_);
+  counters_.global_bytes_useful += useful;
+}
+
+void WarpContext::global_write(std::span<const MemAccess> accesses) { account_mem(accesses); }
+
+void WarpContext::shared_access(std::span<const SharedAccess> accesses) {
+  int degree = shared_conflict_degree(accesses);
+  int active = 0;
+  for (const auto& a : accesses) {
+    if (a.size != 0) ++active;
+  }
+  counters_.instructions += 1;
+  counters_.active_lane_ops += static_cast<std::uint64_t>(active);
+  counters_.shared_requests += 1;
+  counters_.shared_conflict_cycles += static_cast<std::uint64_t>(degree - 1);
+}
+
+void WarpContext::sync() {
+  counters_.syncs += 1;
+  counters_.instructions += 1;
+  counters_.active_lane_ops += static_cast<std::uint64_t>(warp_size_);
+}
+
+}  // namespace saloba::gpusim

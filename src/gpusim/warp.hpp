@@ -1,0 +1,57 @@
+// WarpContext: the instrument a simulated kernel reports its execution
+// through. Kernels do their real (functional) work on host data structures
+// and declare, per warp instruction, what a CUDA warp would have done:
+// issue slots, global accesses (per-lane addresses), shared accesses,
+// synchronisations. The counters feed the cost model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "gpusim/coalescer.hpp"
+#include "gpusim/kernel_stats.hpp"
+#include "gpusim/shared_mem.hpp"
+
+namespace saloba::gpusim {
+
+class WarpContext {
+ public:
+  WarpContext(int warp_size, int mem_granularity)
+      : warp_size_(warp_size), granularity_(mem_granularity) {}
+
+  int warp_size() const { return warp_size_; }
+
+  /// `n` warp instructions with `active_lanes` lanes enabled. Masked-off
+  /// lanes still consume the issue slot — this is how divergence costs.
+  void issue(std::uint64_t n, int active_lanes);
+
+  /// One global-memory load instruction; `accesses` holds one entry per
+  /// lane (size 0 = inactive). Counts the issue slot itself as well.
+  void global_read(std::span<const MemAccess> accesses);
+  void global_write(std::span<const MemAccess> accesses);
+
+  /// A read routed through the texture/read-only cache (CUSHAW2-GPU's input
+  /// path): the cache absorbs granularity waste, so transactions are charged
+  /// at ideal packing instead of per-segment.
+  void global_read_cached(std::span<const MemAccess> accesses);
+
+  /// One shared-memory access instruction (read or write — same cost).
+  void shared_access(std::span<const SharedAccess> accesses);
+
+  /// Warp- or block-level barrier participation.
+  void sync();
+
+  /// Functional progress: DP cells computed by this warp instruction burst.
+  void add_cells(std::uint64_t cells) { counters_.dp_cells += cells; }
+
+  const WarpCounters& counters() const { return counters_; }
+
+ private:
+  void account_mem(std::span<const MemAccess> accesses);
+
+  int warp_size_;
+  int granularity_;
+  WarpCounters counters_;
+};
+
+}  // namespace saloba::gpusim

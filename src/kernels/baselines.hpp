@@ -1,0 +1,20 @@
+// Factories for the baseline kernels of paper Table II. `nominal_pairs`
+// reproduces the paper's batch size (5,000 reads per kernel call) for
+// device-memory footprint checks even when the simulated batch is smaller —
+// benches pass 5000, tests pass 0 (= use the actual batch size).
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/kernel_iface.hpp"
+
+namespace saloba::kernels {
+
+KernelPtr make_gasal2_like(std::size_t nominal_pairs = 0);
+KernelPtr make_nvbio_like(std::size_t nominal_pairs = 0);
+KernelPtr make_soap3dp_like(std::size_t nominal_pairs = 0);
+KernelPtr make_cushaw2_like(std::size_t nominal_pairs = 0);
+KernelPtr make_adept_like(std::size_t nominal_pairs = 0);
+KernelPtr make_swsharp_like(std::size_t nominal_pairs = 0);
+
+}  // namespace saloba::kernels

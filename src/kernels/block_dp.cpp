@@ -1,0 +1,77 @@
+#include "kernels/block_dp.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace saloba::kernels {
+
+BlockBoundary BlockBoundary::table_edge() {
+  BlockBoundary b;
+  for (int k = 0; k < kBlockDim; ++k) {
+    b.top_h[k] = 0;
+    b.top_f[k] = kBoundaryNegInf;
+    b.left_h[k] = 0;
+    b.left_e[k] = kBoundaryNegInf;
+  }
+  b.diag_h = 0;
+  return b;
+}
+
+void block_dp(const seq::BaseCode* ref, const seq::BaseCode* query, int rh, int qw,
+              std::size_t i0, std::size_t j0, const BlockBoundary& in,
+              const align::ScoringScheme& scoring, BlockOutput& out) {
+  SALOBA_DCHECK(rh >= 1 && rh <= kBlockDim && qw >= 1 && qw <= kBlockDim);
+  using align::Score;
+  const Score alpha = scoring.alpha();
+  const Score beta = scoring.beta();
+
+  // Row-carried H of the previous block row within this block; starts as the
+  // incoming top boundary. f likewise carries down the columns.
+  Score h_above[kBlockDim];
+  Score f_above[kBlockDim];
+  for (int k = 0; k < qw; ++k) {
+    h_above[k] = in.top_h[k];
+    f_above[k] = in.top_f[k];
+  }
+
+  align::AlignmentResult best;
+  best.score = 0;
+
+  for (int r = 0; r < rh; ++r) {
+    // Left boundary of this row: incoming column data.
+    Score h_left = in.left_h[r];
+    Score e = in.left_e[r];
+    // Diagonal for column 0: row r-1's left boundary H, or the corner.
+    Score h_diag = (r == 0) ? in.diag_h : in.left_h[r - 1];
+    const seq::BaseCode rb = ref[r];
+
+    for (int c = 0; c < qw; ++c) {
+      e = std::max(h_left - alpha, e - beta);
+      Score f = std::max(h_above[c] - alpha, f_above[c] - beta);
+      Score h = std::max({Score{0}, h_diag + scoring.substitution(rb, query[c]), e, f});
+
+      h_diag = h_above[c];
+      h_above[c] = h;
+      f_above[c] = f;
+      h_left = h;
+
+      if (h > best.score) {
+        best.score = h;
+        best.ref_end = static_cast<std::int32_t>(i0) + r;
+        best.query_end = static_cast<std::int32_t>(j0) + c;
+      }
+      if (c == qw - 1) {
+        out.right_h[r] = h;
+        out.right_e[r] = e;
+      }
+    }
+  }
+  for (int k = 0; k < qw; ++k) {
+    out.bottom_h[k] = h_above[k];
+    out.bottom_f[k] = f_above[k];
+  }
+  out.best = best;
+}
+
+}  // namespace saloba::kernels

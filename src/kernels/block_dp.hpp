@@ -1,0 +1,57 @@
+// The 8×8 DP block: the unit of work of every 4-bit kernel (paper
+// Sec. II-B: one 32-bit register word from each sequence covers 8 bases, so
+// kernels process 8×8 cells per fetched word pair).
+//
+// Boundary convention at table edges: H reads 0 (local-alignment floor),
+// E and F read kBoundaryNegInf (a gap cannot enter from outside the table).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "align/alignment_result.hpp"
+#include "align/scoring.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::kernels {
+
+inline constexpr align::Score kBoundaryNegInf =
+    std::numeric_limits<align::Score>::min() / 4;
+
+inline constexpr int kBlockDim = 8;
+
+/// Issue-slot cost constants used by the kernels (warp instructions per DP
+/// cell per lane). Intra-query kernels pay extra for the shared-memory
+/// handoff machinery; these values are part of the calibrated cost model
+/// (see DESIGN.md §5 and bench/fig6_kernel_perf).
+inline constexpr std::uint64_t kInstrPerCellInter = 8;
+inline constexpr std::uint64_t kInstrPerCellIntra = 16;
+
+struct BlockBoundary {
+  // Boundary cells feeding the block. Indices are block-local.
+  align::Score top_h[kBlockDim];   ///< H(i0-1, j0+k)
+  align::Score top_f[kBlockDim];   ///< F(i0-1, j0+k)
+  align::Score left_h[kBlockDim];  ///< H(i0+r, j0-1)
+  align::Score left_e[kBlockDim];  ///< E(i0+r, j0-1)
+  align::Score diag_h = 0;         ///< H(i0-1, j0-1)
+
+  /// Table-edge boundary (row/column -1).
+  static BlockBoundary table_edge();
+};
+
+struct BlockOutput {
+  align::Score right_h[kBlockDim];   ///< H(i0+r, j0+qw-1)
+  align::Score right_e[kBlockDim];   ///< E(i0+r, j0+qw-1)
+  align::Score bottom_h[kBlockDim];  ///< H(i0+rh-1, j0+k)
+  align::Score bottom_f[kBlockDim];  ///< F(i0+rh-1, j0+k)
+  align::AlignmentResult best;       ///< best cell in the block, global coords
+};
+
+/// Computes an rh×qw block (1..8 each) whose top-left cell is (i0, j0).
+/// `ref` points at the rh reference bases of the block's rows, `query` at
+/// the qw query bases of its columns.
+void block_dp(const seq::BaseCode* ref, const seq::BaseCode* query, int rh, int qw,
+              std::size_t i0, std::size_t j0, const BlockBoundary& in,
+              const align::ScoringScheme& scoring, BlockOutput& out);
+
+}  // namespace saloba::kernels

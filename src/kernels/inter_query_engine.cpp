@@ -1,0 +1,351 @@
+#include "kernels/inter_query_engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "kernels/block_dp.hpp"
+#include "util/check.hpp"
+
+namespace saloba::kernels {
+namespace {
+
+using align::AlignmentResult;
+using align::Score;
+using gpusim::MemAccess;
+using seq::BaseCode;
+
+/// Per-lane sweep state: one pair's DP progress.
+struct LaneState {
+  std::size_t pair = 0;
+  bool valid = false;
+  bool done = true;
+  int n_strips = 0;
+  int q_words = 0;  // query 8-column block count
+  int strip = 0;
+  int word = 0;
+  // Boundary row between strips, over the query axis: H and F of the
+  // bottom row of the strip above (functional mirror of the global row
+  // buffer).
+  std::vector<Score> row_h, row_f;
+  // Carried right-column state within the current strip.
+  Score left_h[kBlockDim];
+  Score left_e[kBlockDim];
+  Score diag = 0;       // H(top-left corner of next block)
+  Score next_diag = 0;  // captured before the row buffer is overwritten
+  AlignmentResult best;
+};
+
+struct Layout {
+  // Simulated device addresses.
+  std::uint64_t query_words_base = 0;
+  std::uint64_t ref_words_base = 0;
+  std::uint64_t row_buf_base = 0;
+  std::vector<std::uint64_t> row_buf_offset;  // per pair, bytes
+  std::vector<std::uint64_t> q_word_off, r_word_off;  // per pair, in words
+};
+
+}  // namespace
+
+KernelResult run_inter_query(gpusim::Device& device, const seq::PairBatch& batch,
+                             const align::ScoringScheme& scoring,
+                             const InterQueryParams& params) {
+  const std::size_t pairs = batch.size();
+  SALOBA_CHECK_MSG(pairs > 0, "empty batch");
+  const std::size_t max_len = std::max(batch.max_query_len(), batch.max_ref_len());
+  if (max_len > params.info.max_len) {
+    throw KernelUnsupportedError(params.info.name + ": sequence length " +
+                                 std::to_string(max_len) + " exceeds structural limit " +
+                                 std::to_string(params.info.max_len));
+  }
+
+  // 2-bit kernels cannot represent N: substitute it (deterministically with
+  // A, mirroring CUSHAW2/SOAP3's base substitution) and compute on the
+  // substituted sequences so scores reflect what those kernels truly return.
+  const bool substitute_n = params.packing == seq::Packing::k2Bit;
+  std::vector<std::vector<BaseCode>> subst_q, subst_r;
+  if (substitute_n) {
+    subst_q = batch.queries;
+    subst_r = batch.refs;
+    for (auto* seqs : {&subst_q, &subst_r}) {
+      for (auto& s : *seqs) {
+        for (auto& b : s) {
+          if (b == seq::kBaseN) b = seq::kBaseA;
+        }
+      }
+    }
+  }
+  auto query_of = [&](std::size_t p) -> const std::vector<BaseCode>& {
+    return substitute_n ? subst_q[p] : batch.queries[p];
+  };
+  auto ref_of = [&](std::size_t p) -> const std::vector<BaseCode>& {
+    return substitute_n ? subst_r[p] : batch.refs[p];
+  };
+
+  // ---- Device footprint ----------------------------------------------
+  const int bpw = seq::bases_per_word(params.packing);
+  Layout layout;
+  layout.row_buf_offset.resize(pairs);
+  layout.q_word_off.resize(pairs);
+  layout.r_word_off.resize(pairs);
+  std::uint64_t q_words_total = 0, r_words_total = 0, row_bytes_total = 0;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    layout.q_word_off[p] = q_words_total;
+    layout.r_word_off[p] = r_words_total;
+    layout.row_buf_offset[p] = row_bytes_total;
+    q_words_total += (batch.queries[p].size() + bpw - 1) / bpw;
+    r_words_total += (batch.refs[p].size() + bpw - 1) / bpw;
+    // One boundary cell per query column; stored packed at
+    // interm_cell_bytes per cell.
+    row_bytes_total += batch.queries[p].size() * static_cast<std::uint64_t>(
+                                                     params.interm_cell_bytes);
+  }
+
+  gpusim::DeviceMem q_mem = device.alloc(q_words_total * 4, params.info.name + ".query");
+  gpusim::DeviceMem r_mem = device.alloc(r_words_total * 4, params.info.name + ".ref");
+  gpusim::DeviceMem row_mem = device.alloc(row_bytes_total, params.info.name + ".rows");
+  gpusim::DeviceMem res_mem = device.alloc(pairs * 16, params.info.name + ".results");
+  gpusim::DeviceMem extra_mem{};
+  if (params.extra_footprint) {
+    extra_mem = device.alloc(params.extra_footprint(batch), params.info.name + ".extra");
+  }
+  layout.query_words_base = q_mem.base;
+  layout.ref_words_base = r_mem.base;
+  layout.row_buf_base = row_mem.base;
+
+  // ---- Launch ----------------------------------------------------------
+  const int tpb = params.threads_per_block;
+  gpusim::LaunchConfig config;
+  config.label = params.info.name;
+  config.blocks = static_cast<std::uint32_t>((pairs + tpb - 1) / tpb);
+  config.threads_per_block = tpb;
+  config.shared_bytes_per_block = 0;
+  config.init_bytes = params.init_bytes ? params.init_bytes(batch) : 0;
+
+  std::vector<AlignmentResult> results(pairs);
+  const int warp_size = device.spec().warp_size;
+  const int warps_per_block = tpb / warp_size;
+
+  auto result = device.launch(config, [&](gpusim::BlockContext& blk) {
+    for (int w = 0; w < warps_per_block; ++w) {
+      gpusim::WarpContext& warp = blk.warp(w);
+
+      // Bind lanes to pairs.
+      std::array<LaneState, 32> lanes;
+      int live = 0;
+      for (int l = 0; l < warp_size; ++l) {
+        std::size_t p = static_cast<std::size_t>(blk.block_id()) * tpb +
+                        static_cast<std::size_t>(w) * warp_size + static_cast<std::size_t>(l);
+        LaneState& ls = lanes[static_cast<std::size_t>(l)];
+        if (p >= pairs || batch.queries[p].empty() || batch.refs[p].empty()) continue;
+        ls.pair = p;
+        ls.valid = true;
+        ls.done = false;
+        ls.n_strips = static_cast<int>((batch.refs[p].size() + kBlockDim - 1) / kBlockDim);
+        ls.q_words = static_cast<int>((batch.queries[p].size() + kBlockDim - 1) / kBlockDim);
+        ls.row_h.assign(batch.queries[p].size(), 0);
+        ls.row_f.assign(batch.queries[p].size(), kBoundaryNegInf);
+        for (int k = 0; k < kBlockDim; ++k) {
+          ls.left_h[k] = 0;
+          ls.left_e[k] = kBoundaryNegInf;
+        }
+        ls.diag = 0;
+        ++live;
+      }
+      if (live == 0) continue;
+
+      // Warp-synchronous sweep: every step, each unfinished lane processes
+      // one 8x8 block.
+      std::array<MemAccess, 32> acc;
+      auto clear_acc = [&acc] { acc.fill(MemAccess{}); };
+
+      for (;;) {
+        int active = 0;
+        for (int l = 0; l < warp_size; ++l) {
+          if (lanes[static_cast<std::size_t>(l)].valid &&
+              !lanes[static_cast<std::size_t>(l)].done) {
+            ++active;
+          }
+        }
+        if (active == 0) break;
+
+        // -- 1. query word fetch (once per block; a packed word may span
+        //       several blocks for wide packings, then the fetch only
+        //       happens when the block crosses into a new word).
+        clear_acc();
+        for (int l = 0; l < warp_size; ++l) {
+          LaneState& ls = lanes[static_cast<std::size_t>(l)];
+          if (!ls.valid || ls.done) continue;
+          int first_word = ls.word * kBlockDim / bpw;
+          int prev_last = ls.word == 0 ? -1 : (ls.word * kBlockDim - 1) / bpw;
+          if (first_word != prev_last) {
+            acc[static_cast<std::size_t>(l)] = MemAccess{
+                layout.query_words_base + (layout.q_word_off[ls.pair] +
+                                           static_cast<std::uint64_t>(first_word)) * 4,
+                4};
+          }
+        }
+        if (params.texture_inputs) warp.global_read_cached(acc);
+        else warp.global_read(acc);
+
+        // -- 2. ref word fetch at strip starts.
+        clear_acc();
+        for (int l = 0; l < warp_size; ++l) {
+          LaneState& ls = lanes[static_cast<std::size_t>(l)];
+          if (!ls.valid || ls.done || ls.word != 0) continue;
+          int rword = ls.strip * kBlockDim / bpw;
+          int prev_last = ls.strip == 0 ? -1 : (ls.strip * kBlockDim - 1) / bpw;
+          if (rword != prev_last) {
+            acc[static_cast<std::size_t>(l)] = MemAccess{
+                layout.ref_words_base +
+                    (layout.r_word_off[ls.pair] + static_cast<std::uint64_t>(rword)) * 4,
+                4};
+          }
+        }
+        warp.global_read(acc);
+
+        // -- 3. row-buffer loads: boundary cells of the 8 columns, from the
+        //       strip above (skipped on the first strip). One warp
+        //       instruction per stored 4-byte unit.
+        const int interm_instr =
+            std::max(1, kBlockDim * params.interm_cell_bytes / 4);
+        for (int k = 0; k < interm_instr; ++k) {
+          clear_acc();
+          bool any = false;
+          for (int l = 0; l < warp_size; ++l) {
+            LaneState& ls = lanes[static_cast<std::size_t>(l)];
+            if (!ls.valid || ls.done || ls.strip == 0) continue;
+            std::uint64_t col = static_cast<std::uint64_t>(ls.word) * kBlockDim;
+            std::uint64_t addr = layout.row_buf_base + layout.row_buf_offset[ls.pair] +
+                                 col * static_cast<std::uint64_t>(params.interm_cell_bytes) +
+                                 static_cast<std::uint64_t>(k) * 4;
+            acc[static_cast<std::size_t>(l)] = MemAccess{addr, 4};
+            any = true;
+          }
+          if (any) warp.global_read(acc);
+        }
+
+        // -- 4. the 8x8 block DP itself. Record each lane's processed block
+        //       column so the store pass below uses pre-advance positions.
+        std::uint64_t cells_max = 0;
+        std::array<int, 32> processed_word;
+        processed_word.fill(-1);
+        std::array<std::size_t, 32> processed_pair{};
+        for (int l = warp_size - 1; l >= 0; --l) {
+          LaneState& ls = lanes[static_cast<std::size_t>(l)];
+          if (!ls.valid || ls.done) continue;
+          const auto& query = query_of(ls.pair);
+          const auto& ref = ref_of(ls.pair);
+          const std::size_t i0 = static_cast<std::size_t>(ls.strip) * kBlockDim;
+          const std::size_t j0 = static_cast<std::size_t>(ls.word) * kBlockDim;
+          const int rh = static_cast<int>(std::min<std::size_t>(kBlockDim, ref.size() - i0));
+          const int qw = static_cast<int>(std::min<std::size_t>(kBlockDim, query.size() - j0));
+
+          BlockBoundary bound;
+          for (int k = 0; k < qw; ++k) {
+            if (ls.strip == 0) {
+              bound.top_h[k] = 0;
+              bound.top_f[k] = kBoundaryNegInf;
+            } else {
+              bound.top_h[k] = ls.row_h[j0 + static_cast<std::size_t>(k)];
+              bound.top_f[k] = ls.row_f[j0 + static_cast<std::size_t>(k)];
+            }
+          }
+          for (int k = 0; k < rh; ++k) {
+            bound.left_h[k] = ls.left_h[k];
+            bound.left_e[k] = ls.left_e[k];
+          }
+          bound.diag_h = ls.diag;
+
+          // Capture the diagonal for the next block before overwriting.
+          if (ls.strip == 0) {
+            ls.next_diag = 0;
+          } else if (j0 + kBlockDim - 1 < query.size()) {
+            ls.next_diag = ls.row_h[j0 + kBlockDim - 1];
+          }
+
+          BlockOutput out;
+          block_dp(ref.data() + i0, query.data() + j0, rh, qw, i0, j0, bound, scoring, out);
+          align::take_better(ls.best, out.best);
+
+          for (int k = 0; k < qw; ++k) {
+            ls.row_h[j0 + static_cast<std::size_t>(k)] = out.bottom_h[k];
+            ls.row_f[j0 + static_cast<std::size_t>(k)] = out.bottom_f[k];
+          }
+          for (int k = 0; k < rh; ++k) {
+            ls.left_h[k] = out.right_h[k];
+            ls.left_e[k] = out.right_e[k];
+          }
+          ls.diag = ls.next_diag;
+          cells_max = std::max(cells_max, static_cast<std::uint64_t>(rh * qw));
+          warp.add_cells(static_cast<std::uint64_t>(rh) * static_cast<std::uint64_t>(qw));
+          processed_word[static_cast<std::size_t>(l)] = ls.word;
+          processed_pair[static_cast<std::size_t>(l)] = ls.pair;
+
+          // Advance.
+          if (++ls.word == ls.q_words) {
+            ls.word = 0;
+            for (int k = 0; k < kBlockDim; ++k) {
+              ls.left_h[k] = 0;
+              ls.left_e[k] = kBoundaryNegInf;
+            }
+            ls.diag = 0;
+            if (++ls.strip == ls.n_strips) {
+              ls.done = true;
+              results[ls.pair] = ls.best;
+            }
+          }
+        }
+        warp.issue(cells_max * params.instr_per_cell, active);
+
+        // -- 5. row-buffer stores (the boundary data for the strip below).
+        //       Emitted unconditionally for every processed block, as the
+        //       real kernels do (a thread does not know whether a further
+        //       strip follows until it gets there).
+        for (int k = 0; k < interm_instr; ++k) {
+          clear_acc();
+          bool any = false;
+          for (int l = 0; l < warp_size; ++l) {
+            if (processed_word[static_cast<std::size_t>(l)] < 0) continue;
+            std::uint64_t col =
+                static_cast<std::uint64_t>(processed_word[static_cast<std::size_t>(l)]) *
+                kBlockDim;
+            std::uint64_t addr =
+                layout.row_buf_base +
+                layout.row_buf_offset[processed_pair[static_cast<std::size_t>(l)]] +
+                col * static_cast<std::uint64_t>(params.interm_cell_bytes) +
+                static_cast<std::uint64_t>(k) * 4;
+            acc[static_cast<std::size_t>(l)] = MemAccess{addr, 4};
+            any = true;
+          }
+          if (any) warp.global_write(acc);
+        }
+      }
+
+      // Result writeback: one 16 B record per pair, warp-wide.
+      clear_acc();
+      for (int l = 0; l < warp_size; ++l) {
+        LaneState& ls = lanes[static_cast<std::size_t>(l)];
+        if (!ls.valid) continue;
+        acc[static_cast<std::size_t>(l)] =
+            MemAccess{res_mem.base + static_cast<std::uint64_t>(ls.pair) * 16, 16};
+      }
+      warp.global_write(acc);
+    }
+  });
+
+  device.free(q_mem);
+  device.free(r_mem);
+  device.free(row_mem);
+  device.free(res_mem);
+  if (extra_mem.size != 0) device.free(extra_mem);
+
+  KernelResult out;
+  out.results = std::move(results);
+  out.stats = result.stats;
+  out.time = result.time;
+  out.launches = 1;
+  return out;
+}
+
+}  // namespace saloba::kernels

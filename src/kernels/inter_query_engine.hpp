@@ -1,0 +1,54 @@
+// The inter-query parallel seed-extension engine (paper Sec. II-B): one CUDA
+// thread owns one (query, reference) pair and sweeps its DP table in 8×8
+// blocks, strip by strip, keeping the strip's bottom boundary row in global
+// memory. GASAL2, NVBIO, SOAP3-dp and CUSHAW2-GPU all follow this strategy;
+// they differ in packing width, intermediate-cell format, input cache path,
+// startup cost and memory footprint — captured by InterQueryParams.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "kernels/kernel_iface.hpp"
+
+namespace saloba::kernels {
+
+struct InterQueryParams {
+  KernelInfo info;
+  seq::Packing packing = seq::Packing::k4Bit;
+  std::uint64_t instr_per_cell = 8;
+  /// Bytes per stored intermediate boundary cell. 4 = (int16 H, int16 F)
+  /// as in GASAL2/Table I; 2 = CUSHAW2's compacted format (two cells share a
+  /// 4-byte store).
+  int interm_cell_bytes = 4;
+  /// Inputs fetched through the texture/read-only cache (CUSHAW2-GPU).
+  bool texture_inputs = false;
+  int threads_per_block = 128;
+  /// One-time initialisation traffic (cudaMemset of staging buffers):
+  /// GASAL2's fixed startup overhead that dominates at 64 bp (Sec. V-C).
+  std::function<std::uint64_t(const seq::PairBatch&)> init_bytes;
+  /// Extra per-batch device footprint beyond packed inputs + row buffers
+  /// (e.g. NVBIO's full-matrix staging). Drives DeviceOomError failures.
+  std::function<std::uint64_t(const seq::PairBatch&)> extra_footprint;
+};
+
+KernelResult run_inter_query(gpusim::Device& device, const seq::PairBatch& batch,
+                             const align::ScoringScheme& scoring,
+                             const InterQueryParams& params);
+
+/// An ExtensionKernel wrapper around run_inter_query.
+class InterQueryKernel final : public ExtensionKernel {
+ public:
+  explicit InterQueryKernel(InterQueryParams params) : params_(std::move(params)) {}
+  const KernelInfo& info() const override { return params_.info; }
+  KernelResult run(gpusim::Device& device, const seq::PairBatch& batch,
+                   const align::ScoringScheme& scoring) const override {
+    return run_inter_query(device, batch, scoring, params_);
+  }
+
+ private:
+  InterQueryParams params_;
+};
+
+}  // namespace saloba::kernels

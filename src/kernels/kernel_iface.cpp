@@ -1,0 +1,7 @@
+#include "kernels/kernel_iface.hpp"
+
+// Factories live in registry.cpp; this TU only anchors the vtable.
+
+namespace saloba::kernels {
+
+}  // namespace saloba::kernels

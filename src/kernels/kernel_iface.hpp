@@ -1,0 +1,70 @@
+// Common interface for all simulated seed-extension kernels (paper Table II
+// plus SALoBa). Every kernel:
+//   * functionally computes local-alignment results for a batch of
+//     (query, reference) pairs — verified against the CPU reference, and
+//   * reports the execution events a CUDA implementation of its strategy
+//     would generate, from which gpusim estimates time.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "align/alignment_result.hpp"
+#include "align/scoring.hpp"
+#include "gpusim/device.hpp"
+#include "seq/packed_seq.hpp"
+#include "seq/sequence.hpp"
+
+namespace saloba::kernels {
+
+/// Thrown when a kernel cannot process a batch for a structural reason
+/// (e.g. ADEPT's 1024 bp limit). Device-memory failures throw
+/// gpusim::DeviceOomError instead; both reproduce the paper's
+/// "fail to run" annotations.
+class KernelUnsupportedError : public std::runtime_error {
+ public:
+  explicit KernelUnsupportedError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct KernelResult {
+  std::vector<align::AlignmentResult> results;
+  gpusim::KernelStats stats;
+  gpusim::TimeBreakdown time;
+  std::uint64_t launches = 1;
+};
+
+/// Metadata matching the columns of paper Table II.
+struct KernelInfo {
+  std::string name;
+  std::string parallelism;  ///< "inter-query" or "intra-query"
+  int bitwidth = 4;
+  std::string mapping = "one-to-one";
+  /// False for 2-bit kernels that randomise N bases (results may diverge
+  /// from the 4/8-bit reference on inputs containing N).
+  bool exact_with_n = true;
+  /// Structural maximum sequence length (SIZE_MAX = unbounded).
+  std::size_t max_len = static_cast<std::size_t>(-1);
+};
+
+class ExtensionKernel {
+ public:
+  virtual ~ExtensionKernel() = default;
+  virtual const KernelInfo& info() const = 0;
+  /// Runs the batch on the simulated device. Throws KernelUnsupportedError
+  /// or gpusim::DeviceOomError when the strategy cannot handle the batch.
+  virtual KernelResult run(gpusim::Device& device, const seq::PairBatch& batch,
+                           const align::ScoringScheme& scoring) const = 0;
+};
+
+using KernelPtr = std::unique_ptr<ExtensionKernel>;
+
+/// Factory for every kernel in the comparison set, in paper Table II order
+/// with SALoBa last. `make_kernel` accepts the names listed by
+/// `kernel_names()` ("gasal2", "saloba", "saloba-sw8", ...).
+std::vector<KernelPtr> make_all_kernels();
+KernelPtr make_kernel(const std::string& name);
+std::vector<std::string> kernel_names();
+
+}  // namespace saloba::kernels

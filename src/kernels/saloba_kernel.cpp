@@ -1,0 +1,518 @@
+#include "kernels/saloba_kernel.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "kernels/block_dp.hpp"
+#include "util/check.hpp"
+
+namespace saloba::kernels {
+namespace {
+
+using align::AlignmentResult;
+using align::Score;
+using gpusim::MemAccess;
+using gpusim::SharedAccess;
+using seq::BaseCode;
+
+constexpr int kWarpSize = 32;
+/// Shared memory per warp: the paper's 2 · dim(block) · #threads =
+/// 2 · 32 B · 32 (Sec. IV-B) — handoff slots + spill trail, double-buffered.
+constexpr std::size_t kSharedBytesPerWarp = 2ull * 32 * kWarpSize;
+/// SALoBa's own staging memset per pair (much leaner than GASAL2's).
+constexpr std::uint64_t kInitBytesPerPair = 4 << 10;
+
+/// State of one subwarp working through its queue of pairs.
+struct SubwarpState {
+  // Queue position: pairs are dealt round-robin over all subwarps.
+  std::size_t next_pair = 0;  // index into this subwarp's arithmetic sequence
+  bool pair_active = false;
+  bool exhausted = false;
+
+  // Current pair.
+  std::size_t pair = 0;
+  int q_words = 0;
+  int n_strips = 0;
+  int n_chunks = 0;
+  int chunk = 0;
+  int chunk_lanes = 0;  // lanes active in this chunk (short last chunk)
+  int t = 0;            // step within the chunk
+
+  // Functional chunk-boundary row (the global-memory spill target):
+  // H and F of the bottom row of the previous chunk, per query column.
+  std::vector<Score> bound_h, bound_f;
+
+  // Per-lane persistent registers.
+  std::array<std::array<Score, kBlockDim>, kWarpSize> left_h{}, left_e{};
+  std::array<Score, kWarpSize> corner{};  // H(top-left) carried from last step
+
+  // Handoff slots: bottom row of the block lane l processed last step.
+  std::array<std::array<Score, kBlockDim>, kWarpSize> hand_h{}, hand_f{};
+
+  AlignmentResult best;
+};
+
+struct Addressing {
+  std::uint64_t query_base = 0, ref_base = 0, bound_base = 0, result_base = 0;
+  std::vector<std::uint64_t> q_off, r_off, b_off;  // per pair: words / bytes
+};
+
+class SalobaKernel final : public ExtensionKernel {
+ public:
+  SalobaKernel(SalobaConfig config, std::size_t nominal_pairs)
+      : config_(config), nominal_pairs_(nominal_pairs) {
+    SALOBA_CHECK_MSG(kWarpSize % config_.subwarp_size == 0 && config_.subwarp_size > 0 &&
+                         config_.subwarp_size <= kWarpSize,
+                     "subwarp_size must divide the warp size");
+    info_.name = config_.name.empty() ? derive_name() : config_.name;
+    info_.parallelism = "intra-query";
+    info_.bitwidth = 4;
+    info_.mapping = "one-to-one";
+    info_.exact_with_n = true;
+  }
+
+  const KernelInfo& info() const override { return info_; }
+
+  KernelResult run(gpusim::Device& device, const seq::PairBatch& batch,
+                   const align::ScoringScheme& scoring) const override;
+
+ private:
+  std::string derive_name() const {
+    std::string n = "SALoBa";
+    if (!config_.lazy_spill) return n + "-intra";  // ablation: no lazy spill
+    if (config_.subwarp_size != kWarpSize) {
+      n += "-sw" + std::to_string(config_.subwarp_size);
+    }
+    if (config_.full_warp_spill) n += "-fw";
+    if (config_.band > 0) n += "-band" + std::to_string(config_.band);
+    return n;
+  }
+
+  SalobaConfig config_;
+  std::size_t nominal_pairs_;
+  KernelInfo info_;
+};
+
+KernelResult SalobaKernel::run(gpusim::Device& device, const seq::PairBatch& batch,
+                               const align::ScoringScheme& scoring) const {
+  const std::size_t pairs = batch.size();
+  SALOBA_CHECK_MSG(pairs > 0, "empty batch");
+  const int S = config_.subwarp_size;
+  const int G = kWarpSize / S;  // subwarps per warp
+
+  // ---- Device footprint ------------------------------------------------
+  Addressing addr;
+  addr.q_off.resize(pairs);
+  addr.r_off.resize(pairs);
+  addr.b_off.resize(pairs);
+  std::uint64_t q_words = 0, r_words = 0, bound_bytes = 0;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    addr.q_off[p] = q_words;
+    addr.r_off[p] = r_words;
+    addr.b_off[p] = bound_bytes;
+    q_words += (batch.queries[p].size() + 7) / 8;  // 4-bit: 8 bases per word
+    r_words += (batch.refs[p].size() + 7) / 8;
+    bound_bytes += batch.queries[p].size() * 4;  // one (H,F) cell per column
+  }
+  gpusim::DeviceMem q_mem = device.alloc(q_words * 4, "saloba.query");
+  gpusim::DeviceMem r_mem = device.alloc(r_words * 4, "saloba.ref");
+  gpusim::DeviceMem b_mem = device.alloc(bound_bytes, "saloba.bounds");
+  gpusim::DeviceMem res_mem = device.alloc(pairs * 16, "saloba.results");
+  addr.query_base = q_mem.base;
+  addr.ref_base = r_mem.base;
+  addr.bound_base = b_mem.base;
+  addr.result_base = res_mem.base;
+
+  // ---- Launch geometry ---------------------------------------------------
+  const std::size_t total_subwarps = std::max<std::size_t>(
+      1, std::min(pairs, static_cast<std::size_t>(1) << 20));
+  const std::size_t warps =
+      (total_subwarps + static_cast<std::size_t>(G) - 1) / static_cast<std::size_t>(G);
+  const int wpb = config_.warps_per_block;
+  gpusim::LaunchConfig config;
+  config.label = info_.name;
+  config.blocks = static_cast<std::uint32_t>((warps + wpb - 1) / static_cast<std::size_t>(wpb));
+  config.threads_per_block = wpb * kWarpSize;
+  // Sec. IV-C full-warp spilling allocates S+32 slots per subwarp instead
+  // of the 2S double buffer, so the whole warp can gather 32-slot bursts.
+  std::size_t shared_per_warp =
+      (config_.full_warp_spill && S < kWarpSize)
+          ? static_cast<std::size_t>(G) * static_cast<std::size_t>(S + 32) * 32
+          : kSharedBytesPerWarp;
+  config.shared_bytes_per_block = static_cast<std::size_t>(wpb) * shared_per_warp;
+  config.init_bytes =
+      std::max(nominal_pairs_, pairs) * kInitBytesPerPair;
+
+  std::vector<AlignmentResult> results(pairs);
+
+  auto result = device.launch(config, [&](gpusim::BlockContext& blk) {
+    for (int w = 0; w < wpb; ++w) {
+      const std::size_t warp_id =
+          static_cast<std::size_t>(blk.block_id()) * static_cast<std::size_t>(wpb) +
+          static_cast<std::size_t>(w);
+      if (warp_id * static_cast<std::size_t>(G) >= total_subwarps) break;
+      gpusim::WarpContext& warp = blk.warp(w);
+
+      std::array<SubwarpState, 4> subs;  // G <= 4
+      for (int g = 0; g < G; ++g) {
+        std::size_t sw_id = warp_id * static_cast<std::size_t>(G) + static_cast<std::size_t>(g);
+        subs[static_cast<std::size_t>(g)].exhausted = sw_id >= total_subwarps;
+        subs[static_cast<std::size_t>(g)].next_pair = sw_id;  // stride = total_subwarps
+      }
+
+      std::array<MemAccess, 32> mem_acc;
+      std::array<SharedAccess, 32> shm_acc;
+      const std::size_t band = config_.band;
+      // Block-granular banding: a block is skipped when it lies fully
+      // outside |i - j| <= band.
+      auto block_in_band = [band](std::size_t i0, std::size_t j0, int rh, int qw) {
+        if (band == 0) return true;
+        std::int64_t lo = static_cast<std::int64_t>(j0) -
+                          (static_cast<std::int64_t>(i0) + rh - 1);
+        std::int64_t hi = (static_cast<std::int64_t>(j0) + qw - 1) -
+                          static_cast<std::int64_t>(i0);
+        return lo <= static_cast<std::int64_t>(band) &&
+               hi >= -static_cast<std::int64_t>(band);
+      };
+
+      // --- helpers -------------------------------------------------------
+      auto start_next_pair = [&](SubwarpState& sw) {
+        while (sw.next_pair < pairs) {
+          std::size_t p = sw.next_pair;
+          sw.next_pair += total_subwarps;
+          if (batch.queries[p].empty() || batch.refs[p].empty()) {
+            results[p] = AlignmentResult{};
+            continue;
+          }
+          sw.pair = p;
+          sw.pair_active = true;
+          sw.q_words = static_cast<int>((batch.queries[p].size() + 7) / 8);
+          sw.n_strips = static_cast<int>((batch.refs[p].size() + 7) / 8);
+          sw.n_chunks = (sw.n_strips + S - 1) / S;
+          sw.chunk = 0;
+          sw.chunk_lanes = std::min(S, sw.n_strips);
+          sw.t = 0;
+          sw.bound_h.assign(batch.queries[p].size(), 0);
+          sw.bound_f.assign(batch.queries[p].size(), kBoundaryNegInf);
+          sw.best = AlignmentResult{};
+          for (int l = 0; l < S; ++l) {
+            sw.left_h[static_cast<std::size_t>(l)].fill(0);
+            sw.left_e[static_cast<std::size_t>(l)].fill(kBoundaryNegInf);
+            sw.corner[static_cast<std::size_t>(l)] = 0;
+          }
+          return;
+        }
+        sw.pair_active = false;
+        sw.exhausted = true;
+      };
+
+      for (int g = 0; g < G; ++g) {
+        if (!subs[static_cast<std::size_t>(g)].exhausted) {
+          start_next_pair(subs[static_cast<std::size_t>(g)]);
+        }
+      }
+
+      // --- warp-synchronous step loop -------------------------------------
+      for (;;) {
+        bool any = false;
+        for (int g = 0; g < G; ++g) {
+          if (subs[static_cast<std::size_t>(g)].pair_active) any = true;
+        }
+        if (!any) break;
+
+        int active_total = 0;
+        mem_acc.fill(MemAccess{});
+        // Pass 1 per subwarp: chunk-start events + collect per-lane query
+        // word accesses; Pass 2 does the functional DP.
+        for (int g = 0; g < G; ++g) {
+          SubwarpState& sw = subs[static_cast<std::size_t>(g)];
+          if (!sw.pair_active) continue;
+          const int steps_this_chunk = sw.q_words + sw.chunk_lanes - 1;
+          SALOBA_DCHECK(sw.t < steps_this_chunk);
+          (void)steps_this_chunk;
+
+          // Chunk start: each lane fetches its strip's reference word
+          // (consecutive words — coalesced), and with lazy spilling the
+          // first boundary burst is prefetched.
+          if (sw.t == 0) {
+            std::array<MemAccess, 32> racc;
+            racc.fill(MemAccess{});
+            for (int l = 0; l < sw.chunk_lanes; ++l) {
+              std::uint64_t word = static_cast<std::uint64_t>(sw.chunk) *
+                                       static_cast<std::uint64_t>(S) +
+                                   static_cast<std::uint64_t>(l);
+              racc[static_cast<std::size_t>(g * S + l)] =
+                  MemAccess{addr.ref_base + (addr.r_off[sw.pair] + word) * 4, 4};
+            }
+            warp.global_read(racc);
+          }
+
+          // Boundary reads for lane 0 (only when a previous chunk exists).
+          if (sw.chunk > 0) {
+            if (config_.lazy_spill) {
+              // Coalesced burst every S steps: S columns ahead of lane 0.
+              const int burst = (config_.full_warp_spill && S < kWarpSize) ? kWarpSize : S;
+              if (sw.t % burst == 0 && sw.t < sw.q_words) {
+                // Transposed burst: instruction k assigns consecutive lanes
+                // to consecutive 4 B words, so each instruction is a fully
+                // coalesced read of the region [t·32 B, (t+cols)·32 B).
+                int cols = std::min(burst, sw.q_words - sw.t);
+                std::uint64_t region =
+                    addr.bound_base + addr.b_off[sw.pair] +
+                    static_cast<std::uint64_t>(sw.t) * kBlockDim * 4;
+                for (int k = 0; k < kBlockDim; ++k) {
+                  std::array<MemAccess, 32> bacc;
+                  bacc.fill(MemAccess{});
+                  for (int c = 0; c < cols; ++c) {
+                    std::uint64_t word = static_cast<std::uint64_t>(k) *
+                                             static_cast<std::uint64_t>(cols) +
+                                         static_cast<std::uint64_t>(c);
+                    int lane = burst == kWarpSize ? c : g * S + c;
+                    bacc[static_cast<std::size_t>(lane)] = MemAccess{region + word * 4, 4};
+                  }
+                  warp.global_read(bacc);
+                }
+              }
+            } else if (sw.t < sw.q_words) {
+              // Naive: lane 0 reads its block's 8 boundary cells, alone.
+              for (int k = 0; k < kBlockDim; ++k) {
+                std::array<MemAccess, 32> bacc;
+                bacc.fill(MemAccess{});
+                std::uint64_t byte =
+                    (static_cast<std::uint64_t>(sw.t) * kBlockDim + static_cast<std::uint64_t>(k)) *
+                    4;
+                bacc[static_cast<std::size_t>(g * S)] =
+                    MemAccess{addr.bound_base + addr.b_off[sw.pair] + byte, 4};
+                warp.global_read(bacc);
+              }
+            }
+          }
+
+          // Query-word fetch for every active, in-band lane this step.
+          for (int l = 0; l < sw.chunk_lanes; ++l) {
+            int word = sw.t - l;
+            if (word < 0 || word >= sw.q_words) continue;
+            if (band > 0) {
+              const std::size_t i0 = (static_cast<std::size_t>(sw.chunk) * S +
+                                      static_cast<std::size_t>(l)) * kBlockDim;
+              const std::size_t j0 = static_cast<std::size_t>(word) * kBlockDim;
+              if (!block_in_band(i0, j0, kBlockDim, kBlockDim)) continue;
+            }
+            mem_acc[static_cast<std::size_t>(g * S + l)] = MemAccess{
+                addr.query_base + (addr.q_off[sw.pair] + static_cast<std::uint64_t>(word)) * 4,
+                4};
+            ++active_total;
+          }
+        }
+        warp.global_read(mem_acc);
+
+        // Shared-memory handoff: 8 reads + 8 writes of 4 B per active lane,
+        // lane-column layout → bank = global lane id → conflict-free.
+        for (int k = 0; k < kBlockDim; ++k) {
+          for (int rw = 0; rw < 2; ++rw) {
+            shm_acc.fill(SharedAccess{});
+            for (int g = 0; g < G; ++g) {
+              SubwarpState& sw = subs[static_cast<std::size_t>(g)];
+              if (!sw.pair_active) continue;
+              for (int l = 0; l < sw.chunk_lanes; ++l) {
+                int word = sw.t - l;
+                if (word < 0 || word >= sw.q_words) continue;
+                int lane_global = g * S + l;
+                // reads come from the neighbour's column (lane-1), writes
+                // go to the lane's own column; both stay conflict-free.
+                int col = rw == 0 ? std::max(0, lane_global - 1) : lane_global;
+                std::uint32_t off =
+                    (static_cast<std::uint32_t>((sw.t % 2) * kBlockDim + k) * 32 +
+                     static_cast<std::uint32_t>(col)) *
+                    4;
+                shm_acc[static_cast<std::size_t>(lane_global)] = SharedAccess{off, 4};
+              }
+            }
+            warp.shared_access(shm_acc);
+          }
+        }
+
+        // The block DP issue slots for this step.
+        warp.issue(64 * kInstrPerCellIntra, active_total);
+
+        // ---- Functional pass: lanes descending so handoff reads see the
+        // previous step's values.
+        for (int g = 0; g < G; ++g) {
+          SubwarpState& sw = subs[static_cast<std::size_t>(g)];
+          if (!sw.pair_active) continue;
+          const auto& query = batch.queries[sw.pair];
+          const auto& ref = batch.refs[sw.pair];
+
+          for (int l = sw.chunk_lanes - 1; l >= 0; --l) {
+            int word = sw.t - l;
+            if (word < 0 || word >= sw.q_words) continue;
+            const int strip = sw.chunk * S + l;
+            const std::size_t i0 = static_cast<std::size_t>(strip) * kBlockDim;
+            const std::size_t j0 = static_cast<std::size_t>(word) * kBlockDim;
+            const int rh = static_cast<int>(std::min<std::size_t>(kBlockDim, ref.size() - i0));
+            const int qw =
+                static_cast<int>(std::min<std::size_t>(kBlockDim, query.size() - j0));
+
+            if (!block_in_band(i0, j0, rh, qw)) {
+              // Out-of-band block: publish neutral boundaries so the
+              // in-band frontier sees H = 0 / E,F = -inf, and reset the
+              // lane's left carry for band re-entry.
+              for (int k = 0; k < kBlockDim; ++k) {
+                sw.hand_h[static_cast<std::size_t>(l)][k] = 0;
+                sw.hand_f[static_cast<std::size_t>(l)][k] = kBoundaryNegInf;
+                sw.left_h[static_cast<std::size_t>(l)][k] = 0;
+                sw.left_e[static_cast<std::size_t>(l)][k] = kBoundaryNegInf;
+              }
+              sw.corner[static_cast<std::size_t>(l)] = 0;
+              if (l == sw.chunk_lanes - 1 && sw.chunk + 1 < sw.n_chunks) {
+                for (int k = 0; k < qw; ++k) {
+                  sw.bound_h[j0 + static_cast<std::size_t>(k)] = 0;
+                  sw.bound_f[j0 + static_cast<std::size_t>(k)] = kBoundaryNegInf;
+                }
+              }
+              if (word == sw.q_words - 1) {
+                sw.left_h[static_cast<std::size_t>(l)].fill(0);
+                sw.left_e[static_cast<std::size_t>(l)].fill(kBoundaryNegInf);
+                sw.corner[static_cast<std::size_t>(l)] = 0;
+              }
+              continue;
+            }
+
+            BlockBoundary bound;
+            if (l == 0) {
+              for (int k = 0; k < qw; ++k) {
+                if (sw.chunk == 0) {
+                  bound.top_h[k] = 0;
+                  bound.top_f[k] = kBoundaryNegInf;
+                } else {
+                  bound.top_h[k] = sw.bound_h[j0 + static_cast<std::size_t>(k)];
+                  bound.top_f[k] = sw.bound_f[j0 + static_cast<std::size_t>(k)];
+                }
+              }
+            } else {
+              for (int k = 0; k < qw; ++k) {
+                bound.top_h[k] = sw.hand_h[static_cast<std::size_t>(l - 1)][k];
+                bound.top_f[k] = sw.hand_f[static_cast<std::size_t>(l - 1)][k];
+              }
+            }
+            for (int k = 0; k < rh; ++k) {
+              bound.left_h[k] = sw.left_h[static_cast<std::size_t>(l)][k];
+              bound.left_e[k] = sw.left_e[static_cast<std::size_t>(l)][k];
+            }
+            bound.diag_h = (word == 0) ? 0 : sw.corner[static_cast<std::size_t>(l)];
+
+            // Carry the top-right H as next step's diagonal (register pass,
+            // Sec. IV-A: "the number of cells stored in the register
+            // becomes nine instead of eight").
+            sw.corner[static_cast<std::size_t>(l)] = bound.top_h[std::max(0, qw - 1)];
+
+            BlockOutput out;
+            block_dp(ref.data() + i0, query.data() + j0, rh, qw, i0, j0, bound, scoring, out);
+            align::take_better(sw.best, out.best);
+            warp.add_cells(static_cast<std::uint64_t>(rh) * static_cast<std::uint64_t>(qw));
+
+            for (int k = 0; k < rh; ++k) {
+              sw.left_h[static_cast<std::size_t>(l)][k] = out.right_h[k];
+              sw.left_e[static_cast<std::size_t>(l)][k] = out.right_e[k];
+            }
+            for (int k = 0; k < qw; ++k) {
+              sw.hand_h[static_cast<std::size_t>(l)][k] = out.bottom_h[k];
+              sw.hand_f[static_cast<std::size_t>(l)][k] = out.bottom_f[k];
+            }
+
+            // The chunk's last lane produces the boundary row for the chunk
+            // below.
+            if (l == sw.chunk_lanes - 1 && sw.chunk + 1 < sw.n_chunks) {
+              for (int k = 0; k < qw; ++k) {
+                sw.bound_h[j0 + static_cast<std::size_t>(k)] = out.bottom_h[k];
+                sw.bound_f[j0 + static_cast<std::size_t>(k)] = out.bottom_f[k];
+              }
+              // Spill traffic.
+              if (config_.lazy_spill) {
+                const int wburst =
+                    (config_.full_warp_spill && S < kWarpSize) ? kWarpSize : S;
+                bool trail_full = (word + 1) % wburst == 0 || word + 1 == sw.q_words;
+                if (trail_full) {
+                  // Transposed coalesced burst, mirroring the read side.
+                  int cols = (word % wburst) + 1;
+                  int first_col = word + 1 - cols;
+                  std::uint64_t region =
+                      addr.bound_base + addr.b_off[sw.pair] +
+                      static_cast<std::uint64_t>(first_col) * kBlockDim * 4;
+                  for (int k = 0; k < kBlockDim; ++k) {
+                    std::array<MemAccess, 32> sacc;
+                    sacc.fill(MemAccess{});
+                    for (int c = 0; c < cols; ++c) {
+                      std::uint64_t word_idx = static_cast<std::uint64_t>(k) *
+                                                   static_cast<std::uint64_t>(cols) +
+                                               static_cast<std::uint64_t>(c);
+                      int lane = wburst == kWarpSize ? c : g * S + c;
+                      sacc[static_cast<std::size_t>(lane)] = MemAccess{region + word_idx * 4, 4};
+                    }
+                    warp.global_write(sacc);
+                  }
+                }
+              } else {
+                for (int k = 0; k < kBlockDim; ++k) {
+                  std::array<MemAccess, 32> sacc;
+                  sacc.fill(MemAccess{});
+                  std::uint64_t byte = (static_cast<std::uint64_t>(word) * kBlockDim +
+                                        static_cast<std::uint64_t>(k)) *
+                                       4;
+                  sacc[static_cast<std::size_t>(g * S + sw.chunk_lanes - 1)] =
+                      MemAccess{addr.bound_base + addr.b_off[sw.pair] + byte, 4};
+                  warp.global_write(sacc);
+                }
+              }
+            }
+
+            // Reset the left boundary when a lane starts a fresh row.
+            if (word == sw.q_words - 1) {
+              sw.left_h[static_cast<std::size_t>(l)].fill(0);
+              sw.left_e[static_cast<std::size_t>(l)].fill(kBoundaryNegInf);
+              sw.corner[static_cast<std::size_t>(l)] = 0;
+            }
+          }
+
+          // Advance the subwarp's step / chunk / pair state.
+          if (++sw.t == sw.q_words + sw.chunk_lanes - 1) {
+            sw.t = 0;
+            if (++sw.chunk == sw.n_chunks) {
+              results[sw.pair] = sw.best;
+              // Result writeback: a single-lane 16 B store.
+              std::array<MemAccess, 32> racc;
+              racc.fill(MemAccess{});
+              racc[static_cast<std::size_t>(g * S)] = MemAccess{
+                  addr.result_base + static_cast<std::uint64_t>(sw.pair) * 16, 16};
+              warp.global_write(racc);
+              start_next_pair(sw);
+            } else {
+              sw.chunk_lanes = std::min(S, sw.n_strips - sw.chunk * S);
+            }
+          }
+        }
+      }
+    }
+  });
+
+  device.free(q_mem);
+  device.free(r_mem);
+  device.free(b_mem);
+  device.free(res_mem);
+
+  KernelResult out;
+  out.results = std::move(results);
+  out.stats = result.stats;
+  out.time = result.time;
+  out.launches = 1;
+  return out;
+}
+
+}  // namespace
+
+KernelPtr make_saloba(const SalobaConfig& config, std::size_t nominal_pairs) {
+  return std::make_unique<SalobaKernel>(config, nominal_pairs);
+}
+
+}  // namespace saloba::kernels

@@ -1,0 +1,40 @@
+// The SALoBa kernel (paper Sec. IV): intra-query parallelism with one
+// (sub)warp per query, chunk/strip/block decomposition with a
+// prologue–main-loop–epilogue wavefront (Fig. 3), lazy spilling of chunk
+// boundary rows through double-buffered shared memory (Fig. 4), and subwarp
+// scheduling to trade prologue/epilogue underutilisation against workload
+// imbalance (Fig. 5).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "kernels/kernel_iface.hpp"
+
+namespace saloba::kernels {
+
+struct SalobaConfig {
+  /// Threads collaborating on one query: 32 = full warp (the paper's first
+  /// version), 16 or 8 = subwarp scheduling. Must divide the warp size.
+  int subwarp_size = 8;
+  /// False reproduces the ablation step "Intra-query Par." (Fig. 7): chunk
+  /// boundaries go straight to global memory from the last thread, one
+  /// 4-byte cell store at a time (Fig. 4 left).
+  bool lazy_spill = true;
+  /// Sec. IV-C's pre-Volta fix for subwarp spilling: allocate N+32 shared
+  /// slots per subwarp and let the *entire warp* spill 32 slots together,
+  /// recovering full 128-byte coalescing at the cost of extra shared
+  /// memory. No effect when subwarp_size == 32 or lazy_spill is off.
+  bool full_warp_spill = false;
+  /// Banded extension (Sec. VII-B, future work): when > 0, 8x8 blocks fully
+  /// outside |i - j| <= band are skipped; boundaries feeding skipped blocks
+  /// read as out-of-band (H = 0, E/F = -inf). 0 = full table.
+  std::size_t band = 0;
+  int warps_per_block = 4;
+  /// Display name override; empty derives one from the parameters.
+  std::string name;
+};
+
+KernelPtr make_saloba(const SalobaConfig& config = {}, std::size_t nominal_pairs = 0);
+
+}  // namespace saloba::kernels

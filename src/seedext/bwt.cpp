@@ -1,0 +1,69 @@
+#include "seedext/bwt.hpp"
+
+#include <array>
+
+#include "seedext/suffix_array.hpp"
+#include "util/check.hpp"
+
+namespace saloba::seedext {
+
+BwtResult build_bwt(std::span<const seq::BaseCode> text) {
+  return build_bwt(text, build_suffix_array(text));
+}
+
+BwtResult build_bwt(std::span<const seq::BaseCode> text,
+                    std::span<const std::int32_t> suffix_array) {
+  SALOBA_CHECK(suffix_array.size() == text.size());
+  const std::size_t n = text.size();
+  BwtResult out;
+  out.bwt.resize(n + 1);
+  // Row 0 is the sentinel suffix: its BWT character is the last text char.
+  out.bwt[0] = n == 0 ? kBwtSentinel : text[n - 1];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int32_t pos = suffix_array[i];
+    if (pos == 0) {
+      out.bwt[i + 1] = kBwtSentinel;
+      out.primary = i + 1;
+    } else {
+      out.bwt[i + 1] = text[static_cast<std::size_t>(pos - 1)];
+    }
+  }
+  return out;
+}
+
+std::vector<seq::BaseCode> invert_bwt(const BwtResult& bwt) {
+  const std::size_t n = bwt.bwt.size();
+  if (n <= 1) return {};
+
+  // LF mapping: rank of each character occurrence + cumulative counts.
+  std::array<std::size_t, 7> counts{};
+  std::vector<std::uint32_t> rank(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rank[i] = static_cast<std::uint32_t>(counts[bwt.bwt[i]]);
+    ++counts[bwt.bwt[i]];
+  }
+  std::array<std::size_t, 7> first{};
+  std::size_t acc = 0;
+  // Sentinel sorts first, then base codes 0..4.
+  first[kBwtSentinel] = 0;
+  acc = counts[kBwtSentinel];
+  for (int c = 0; c < seq::kAlphabetSize; ++c) {
+    first[static_cast<std::size_t>(c)] = acc;
+    acc += counts[static_cast<std::size_t>(c)];
+  }
+
+  // Walk backwards from row 0 (the rotation starting with the sentinel):
+  // its BWT character is the last text character, and LF steps walk the
+  // text right to left.
+  std::vector<seq::BaseCode> text(n - 1);
+  std::size_t row = 0;
+  for (std::size_t k = n - 1; k-- > 0;) {
+    std::uint8_t c = bwt.bwt[row];
+    SALOBA_CHECK_MSG(c != kBwtSentinel, "corrupt BWT: sentinel encountered mid-walk");
+    text[k] = c;
+    row = first[c] + rank[row];
+  }
+  return text;
+}
+
+}  // namespace saloba::seedext

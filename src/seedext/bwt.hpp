@@ -1,0 +1,34 @@
+// Burrows–Wheeler transform over the 5-letter alphabet plus sentinel.
+// Foundation of the FM-index (the paper's related work: BWA/SOAP3/CUSHAW
+// seeding is BWT-based).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+
+namespace saloba::seedext {
+
+/// Sentinel code in BWT space (sorts before every base).
+inline constexpr std::uint8_t kBwtSentinel = 5;
+
+struct BwtResult {
+  /// BWT string of length n+1 over codes {0..4, kBwtSentinel}.
+  std::vector<std::uint8_t> bwt;
+  /// Row index holding the sentinel (needed for inversion).
+  std::size_t primary = 0;
+};
+
+/// BWT from the text (builds the suffix array internally).
+BwtResult build_bwt(std::span<const seq::BaseCode> text);
+
+/// BWT given a precomputed suffix array of `text`.
+BwtResult build_bwt(std::span<const seq::BaseCode> text,
+                    std::span<const std::int32_t> suffix_array);
+
+/// Inverse BWT: recovers the original text. Round-trip tested.
+std::vector<seq::BaseCode> invert_bwt(const BwtResult& bwt);
+
+}  // namespace saloba::seedext

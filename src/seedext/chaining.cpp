@@ -1,0 +1,75 @@
+#include "seedext/chaining.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace saloba::seedext {
+
+std::vector<Chain> chain_seeds(std::vector<Seed> seeds, const ChainingParams& params) {
+  std::vector<Chain> chains;
+  if (seeds.empty()) return chains;
+
+  std::sort(seeds.begin(), seeds.end(), [](const Seed& a, const Seed& b) {
+    if (a.qpos != b.qpos) return a.qpos < b.qpos;
+    return a.rpos < b.rpos;
+  });
+
+  const std::size_t s = seeds.size();
+  std::vector<std::int64_t> score(s);
+  std::vector<std::int64_t> parent(s, -1);
+  for (std::size_t i = 0; i < s; ++i) {
+    score[i] = seeds[i].len;
+    for (std::size_t j = 0; j < i; ++j) {
+      // Seed j must end strictly before seed i begins on both axes.
+      std::int64_t qgap = static_cast<std::int64_t>(seeds[i].qpos) -
+                          (static_cast<std::int64_t>(seeds[j].qpos) + seeds[j].len);
+      std::int64_t rgap = static_cast<std::int64_t>(seeds[i].rpos) -
+                          (static_cast<std::int64_t>(seeds[j].rpos) + seeds[j].len);
+      if (qgap < 0 || rgap < 0) continue;
+      if (qgap > params.max_gap || rgap > params.max_gap) continue;
+      std::int64_t drift = std::llabs(seeds[i].diagonal() - seeds[j].diagonal());
+      if (drift > params.max_diag_drift) continue;
+      std::int64_t gap_penalty = static_cast<std::int64_t>(
+          params.gap_cost * static_cast<double>(std::max(qgap, rgap)));
+      std::int64_t cand = score[j] + seeds[i].len - gap_penalty;
+      if (cand > score[i]) {
+        score[i] = cand;
+        parent[i] = static_cast<std::int64_t>(j);
+      }
+    }
+  }
+
+  // Collect chain endpoints best-first; mark used seeds so returned chains
+  // are reasonably distinct.
+  std::vector<std::size_t> order(s);
+  for (std::size_t i = 0; i < s; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return score[a] > score[b]; });
+  std::vector<bool> used(s, false);
+  const std::int64_t best_score = score[order[0]];
+
+  for (std::size_t idx : order) {
+    if (chains.size() >= params.top_n) break;
+    if (static_cast<double>(score[idx]) <
+        params.drop_ratio * static_cast<double>(best_score)) {
+      break;
+    }
+    if (used[idx]) continue;
+    Chain chain;
+    chain.score = score[idx];
+    std::int64_t cur = static_cast<std::int64_t>(idx);
+    while (cur >= 0) {
+      if (used[static_cast<std::size_t>(cur)]) break;  // merged into a better chain
+      used[static_cast<std::size_t>(cur)] = true;
+      chain.seeds.push_back(seeds[static_cast<std::size_t>(cur)]);
+      cur = parent[static_cast<std::size_t>(cur)];
+    }
+    std::reverse(chain.seeds.begin(), chain.seeds.end());
+    if (!chain.seeds.empty()) chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+}  // namespace saloba::seedext

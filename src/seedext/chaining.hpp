@@ -1,0 +1,32 @@
+// Seed chaining: combine colinear seeds into candidate alignments
+// (BWA-MEM-style O(s²) dynamic-programming chaining with gap penalties).
+#pragma once
+
+#include <vector>
+
+#include "seedext/seeding.hpp"
+
+namespace saloba::seedext {
+
+struct Chain {
+  std::vector<Seed> seeds;  ///< colinear, sorted by query position
+  std::int64_t score = 0;   ///< Σ seed lengths − gap costs
+
+  const Seed& first() const { return seeds.front(); }
+  const Seed& last() const { return seeds.back(); }
+};
+
+struct ChainingParams {
+  std::int64_t max_gap = 10000;       ///< max query/ref gap between seeds
+  std::int64_t max_diag_drift = 500;  ///< max |Δdiagonal| between seeds
+  double gap_cost = 0.15;             ///< per-base gap penalty in chain score
+  std::size_t top_n = 4;              ///< chains returned, best first
+  /// Chains scoring below best*drop_ratio are discarded.
+  double drop_ratio = 0.5;
+};
+
+/// Returns up to top_n chains, best score first. Seeds may be shared
+/// between chains (as in BWA-MEM before deduplication).
+std::vector<Chain> chain_seeds(std::vector<Seed> seeds, const ChainingParams& params);
+
+}  // namespace saloba::seedext

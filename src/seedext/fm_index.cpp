@@ -1,0 +1,85 @@
+#include "seedext/fm_index.hpp"
+
+#include <algorithm>
+
+#include "seedext/suffix_array.hpp"
+#include "util/check.hpp"
+
+namespace saloba::seedext {
+
+FmIndex::FmIndex(std::span<const seq::BaseCode> text) : text_size_(text.size()) {
+  suffix_array_ = build_suffix_array(text);
+  bwt_ = build_bwt(text, suffix_array_);
+
+  // Character start rows: sentinel first (row 0), then base codes.
+  std::array<std::size_t, 6> counts{};
+  for (std::uint8_t c : bwt_.bwt) {
+    ++counts[c == kBwtSentinel ? 5u : c];
+  }
+  std::size_t acc = 1;  // row 0 = sentinel rotation
+  for (int c = 0; c < seq::kAlphabetSize; ++c) {
+    first_[static_cast<std::size_t>(c)] = acc;
+    acc += counts[static_cast<std::size_t>(c)];
+  }
+
+  // Occurrence checkpoints every kCheckpointEvery rows.
+  const std::size_t rows = bwt_.bwt.size();
+  checkpoints_.resize(rows / kCheckpointEvery + 1);
+  std::array<std::uint32_t, 6> running{};
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (i % kCheckpointEvery == 0) checkpoints_[i / kCheckpointEvery] = running;
+    std::uint8_t c = bwt_.bwt[i];
+    ++running[c == kBwtSentinel ? 5u : c];
+  }
+  if (rows % kCheckpointEvery == 0) {
+    checkpoints_[rows / kCheckpointEvery] = running;
+  }
+}
+
+std::size_t FmIndex::occ(std::uint8_t c, std::size_t row) const {
+  SALOBA_DCHECK(row <= bwt_.bwt.size());
+  const std::size_t cp = row / kCheckpointEvery;
+  std::size_t count = checkpoints_[cp][c == kBwtSentinel ? 5u : c];
+  for (std::size_t i = cp * kCheckpointEvery; i < row; ++i) {
+    if (bwt_.bwt[i] == c) ++count;
+  }
+  return count;
+}
+
+FmIndex::Interval FmIndex::extend_left(const Interval& iv, seq::BaseCode c) const {
+  SALOBA_DCHECK(c < seq::kAlphabetSize);
+  Interval out;
+  out.lo = first_[c] + occ(c, iv.lo);
+  out.hi = first_[c] + occ(c, iv.hi);
+  return out;
+}
+
+FmIndex::Interval FmIndex::search(std::span<const seq::BaseCode> pattern) const {
+  Interval iv = whole_text();
+  for (std::size_t k = pattern.size(); k-- > 0;) {
+    if (pattern[k] >= seq::kAlphabetSize) return Interval{};
+    iv = extend_left(iv, pattern[k]);
+    if (iv.size() == 0) return iv;
+  }
+  return iv;
+}
+
+std::size_t FmIndex::count(std::span<const seq::BaseCode> pattern) const {
+  return search(pattern).size();
+}
+
+std::vector<std::uint32_t> FmIndex::locate(std::span<const seq::BaseCode> pattern,
+                                           std::size_t max_hits) const {
+  Interval iv = search(pattern);
+  std::vector<std::uint32_t> out;
+  std::size_t take = iv.size();
+  if (max_hits > 0) take = std::min(take, max_hits);
+  out.reserve(take);
+  for (std::size_t row = iv.lo; row < iv.lo + take; ++row) {
+    SALOBA_DCHECK(row >= 1);  // row 0 (sentinel) can't match a nonempty pattern
+    out.push_back(static_cast<std::uint32_t>(suffix_array_[row - 1]));
+  }
+  return out;
+}
+
+}  // namespace saloba::seedext

@@ -1,0 +1,55 @@
+// FM-index: BWT + occurrence checkpoints + backward search, with locate()
+// through a full suffix-array (acceptable at our multi-Mbp genome scale;
+// documented trade-off vs. sampled SA).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "seedext/bwt.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::seedext {
+
+class FmIndex {
+ public:
+  explicit FmIndex(std::span<const seq::BaseCode> text);
+
+  std::size_t text_size() const { return text_size_; }
+
+  /// Number of occurrences of `pattern` in the text.
+  std::size_t count(std::span<const seq::BaseCode> pattern) const;
+
+  /// Text positions of all occurrences (unsorted), capped at `max_hits`
+  /// (0 = unlimited).
+  std::vector<std::uint32_t> locate(std::span<const seq::BaseCode> pattern,
+                                    std::size_t max_hits = 0) const;
+
+  /// Backward-search interval [lo, hi) over BWT rows; empty when lo >= hi.
+  struct Interval {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    std::size_t size() const { return hi > lo ? hi - lo : 0; }
+  };
+  Interval search(std::span<const seq::BaseCode> pattern) const;
+
+  /// Extends an interval by one character to the left of the pattern
+  /// (backward-search step) — the primitive behind SMEM seeding.
+  Interval extend_left(const Interval& iv, seq::BaseCode c) const;
+  Interval whole_text() const { return Interval{0, bwt_.bwt.size()}; }
+
+ private:
+  std::size_t occ(std::uint8_t c, std::size_t row) const;  ///< #c in bwt[0,row)
+
+  static constexpr std::size_t kCheckpointEvery = 64;
+  std::size_t text_size_ = 0;
+  BwtResult bwt_;
+  std::array<std::size_t, 8> first_{};  ///< row of first rotation starting with c
+  /// occ checkpoints: checkpoint_[i][c] = #c in bwt[0, i*64).
+  std::vector<std::array<std::uint32_t, 6>> checkpoints_;
+  std::vector<std::int32_t> suffix_array_;  ///< for locate()
+};
+
+}  // namespace saloba::seedext

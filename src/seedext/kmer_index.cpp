@@ -1,0 +1,68 @@
+#include "seedext/kmer_index.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace saloba::seedext {
+
+std::optional<std::uint64_t> KmerIndex::pack_kmer(std::span<const seq::BaseCode> kmer, int k) {
+  SALOBA_DCHECK(kmer.size() >= static_cast<std::size_t>(k));
+  std::uint64_t key = 0;
+  for (int i = 0; i < k; ++i) {
+    if (kmer[static_cast<std::size_t>(i)] >= 4) return std::nullopt;  // N
+    key = (key << 2) | kmer[static_cast<std::size_t>(i)];
+  }
+  return key;
+}
+
+KmerIndex::KmerIndex(std::span<const seq::BaseCode> text, int k) : k_(k) {
+  SALOBA_CHECK_MSG(k >= 4 && k <= 31, "k must be in [4, 31], got " << k);
+  if (text.size() < static_cast<std::size_t>(k)) return;
+
+  // Collect (kmer, pos) pairs with a rolling 2-bit encoding.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> pairs;
+  pairs.reserve(text.size());
+  const std::uint64_t mask = (k == 32) ? ~0ULL : ((1ULL << (2 * k)) - 1);
+  std::uint64_t key = 0;
+  int valid = 0;  // consecutive non-N bases accumulated
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] >= 4) {
+      valid = 0;
+      key = 0;
+      continue;
+    }
+    key = ((key << 2) | text[i]) & mask;
+    if (++valid >= k) {
+      pairs.emplace_back(key, static_cast<std::uint32_t>(i + 1 - static_cast<std::size_t>(k)));
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+
+  keys_.reserve(pairs.size() / 2);
+  offsets_.reserve(pairs.size() / 2 + 1);
+  entries_.reserve(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (i == 0 || pairs[i].first != pairs[i - 1].first) {
+      keys_.push_back(pairs[i].first);
+      offsets_.push_back(static_cast<std::uint32_t>(entries_.size()));
+    }
+    entries_.push_back(pairs[i].second);
+  }
+  offsets_.push_back(static_cast<std::uint32_t>(entries_.size()));
+}
+
+std::size_t KmerIndex::distinct_kmers() const { return keys_.size(); }
+
+std::span<const std::uint32_t> KmerIndex::lookup(std::span<const seq::BaseCode> kmer) const {
+  if (kmer.size() < static_cast<std::size_t>(k_)) return {};
+  auto packed = pack_kmer(kmer, k_);
+  if (!packed) return {};
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), *packed);
+  if (it == keys_.end() || *it != *packed) return {};
+  std::size_t idx = static_cast<std::size_t>(it - keys_.begin());
+  return {entries_.data() + offsets_[idx],
+          static_cast<std::size_t>(offsets_[idx + 1] - offsets_[idx])};
+}
+
+}  // namespace saloba::seedext

@@ -1,0 +1,40 @@
+// K-mer hash index over the reference genome: the fast seeding path of the
+// pipeline (sorted (kmer, position) table with binary-searched lookups —
+// compact and cache-friendly compared to a node-per-kmer hash map).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+
+namespace saloba::seedext {
+
+class KmerIndex {
+ public:
+  /// k in [4, 31]; k-mers containing N are not indexed.
+  KmerIndex(std::span<const seq::BaseCode> text, int k);
+
+  int k() const { return k_; }
+  std::size_t distinct_kmers() const;
+  std::size_t indexed_positions() const { return entries_.size(); }
+
+  /// Positions where the k-mer starting at `kmer[0..k)` occurs.
+  /// Returns an empty span for k-mers containing N.
+  std::span<const std::uint32_t> lookup(std::span<const seq::BaseCode> kmer) const;
+
+  /// 2-bit packs a k-mer; nullopt if it contains N.
+  static std::optional<std::uint64_t> pack_kmer(std::span<const seq::BaseCode> kmer, int k);
+
+ private:
+  int k_;
+  // Parallel arrays sorted by key: keys_ holds each distinct k-mer once,
+  // offsets_[i]..offsets_[i+1] indexes entries_ (positions).
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> entries_;
+};
+
+}  // namespace saloba::seedext

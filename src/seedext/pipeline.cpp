@@ -1,0 +1,118 @@
+#include "seedext/pipeline.hpp"
+
+#include <algorithm>
+
+#include "align/sw_reference.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace saloba::seedext {
+
+ReadMapper::ReadMapper(std::vector<seq::BaseCode> genome, MapperParams params)
+    : genome_(std::move(genome)), params_(params) {
+  SALOBA_CHECK_MSG(!genome_.empty(), "empty genome");
+  if (params_.use_fm_seeding) {
+    fm_index_ = std::make_unique<FmIndex>(genome_);
+  } else {
+    kmer_index_ = std::make_unique<KmerIndex>(genome_, params_.k);
+  }
+}
+
+ReadMapper::~ReadMapper() = default;
+ReadMapper::ReadMapper(ReadMapper&&) noexcept = default;
+
+std::vector<Seed> ReadMapper::seeds_of(std::span<const seq::BaseCode> read) const {
+  if (params_.use_fm_seeding) {
+    return find_seeds_fm(*fm_index_, read, params_.seeding);
+  }
+  return find_seeds(*kmer_index_, genome_, read, params_.seeding);
+}
+
+ReadMapper::StrandResult ReadMapper::analyze(std::span<const seq::BaseCode> read) const {
+  StrandResult out;
+  auto seeds = seeds_of(read);
+  if (seeds.empty()) return out;
+  out.chains = chain_seeds(std::move(seeds), params_.chaining);
+  if (!out.chains.empty()) out.coverage = out.chains.front().score;
+  return out;
+}
+
+ReadMapping ReadMapper::map(std::span<const seq::BaseCode> read) const {
+  ReadMapping mapping;
+  if (read.empty()) return mapping;
+
+  StrandResult fwd = analyze(read);
+  std::vector<seq::BaseCode> rc =
+      seq::reverse_complement(std::vector<seq::BaseCode>(read.begin(), read.end()));
+  StrandResult rev = analyze(rc);
+
+  const bool use_rev = rev.coverage > fwd.coverage;
+  const StrandResult& chosen = use_rev ? rev : fwd;
+  std::span<const seq::BaseCode> oriented = use_rev ? std::span<const seq::BaseCode>(rc) : read;
+  if (chosen.chains.empty()) return mapping;
+
+  const Chain& best = chosen.chains.front();
+  auto jobs = make_extension_jobs(genome_, oriented, best, 0, params_.jobs);
+
+  align::Score score = 0;
+  for (const Seed& s : best.seeds) {
+    score += static_cast<align::Score>(s.len) * params_.scoring.match;
+  }
+  std::optional<align::AlignmentResult> left_result;
+  for (const auto& job : jobs) {
+    auto r = align::smith_waterman(job.ref, job.query, params_.scoring);
+    score += r.score;
+    if (job.left) left_result = r;
+  }
+
+  const Seed& anchor = best.first();
+  std::size_t start;
+  if (left_result && left_result->score > 0) {
+    start = anchor.rpos - static_cast<std::size_t>(left_result->ref_end) - 1;
+  } else {
+    // Diagonal projection of the read start through the anchor seed.
+    start = anchor.rpos >= anchor.qpos ? anchor.rpos - anchor.qpos : 0;
+  }
+
+  mapping.mapped = true;
+  mapping.ref_pos = start;
+  mapping.reverse_strand = use_rev;
+  mapping.score = score;
+  return mapping;
+}
+
+std::vector<ReadMapping> ReadMapper::map_batch(
+    std::span<const std::vector<seq::BaseCode>> reads) const {
+  std::vector<ReadMapping> out(reads.size());
+  util::parallel_for_indexed(reads.size(), [&](std::size_t i) { out[i] = map(reads[i]); });
+  return out;
+}
+
+std::vector<ExtensionJob> ReadMapper::collect_jobs(
+    std::span<const std::vector<seq::BaseCode>> reads) const {
+  // Per-read job lists computed in parallel, then flattened in read order.
+  std::vector<std::vector<ExtensionJob>> per_read(reads.size());
+  util::parallel_for_indexed(reads.size(), [&](std::size_t i) {
+    const auto& read = reads[i];
+    if (read.empty()) return;
+    StrandResult fwd = analyze(read);
+    std::vector<seq::BaseCode> rc = seq::reverse_complement(read);
+    StrandResult rev = analyze(rc);
+    const bool use_rev = rev.coverage > fwd.coverage;
+    const StrandResult& chosen = use_rev ? rev : fwd;
+    std::span<const seq::BaseCode> oriented =
+        use_rev ? std::span<const seq::BaseCode>(rc) : std::span<const seq::BaseCode>(read);
+    for (const Chain& chain : chosen.chains) {
+      auto jobs = make_extension_jobs(genome_, oriented, chain,
+                                      static_cast<std::uint32_t>(i), params_.jobs);
+      for (auto& j : jobs) per_read[i].push_back(std::move(j));
+    }
+  });
+  std::vector<ExtensionJob> out;
+  for (auto& v : per_read) {
+    for (auto& j : v) out.push_back(std::move(j));
+  }
+  return out;
+}
+
+}  // namespace saloba::seedext

@@ -1,0 +1,75 @@
+// End-to-end seed-and-extend read mapping — the BWA-MEM stand-in that feeds
+// the extension kernels (paper Sec. V-D). Seeding (k-mer or FM-index) →
+// chaining → extension-job extraction → local-alignment extension → mapping.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "align/scoring.hpp"
+#include "seedext/chaining.hpp"
+#include "seedext/extension_jobs.hpp"
+#include "seedext/fm_index.hpp"
+#include "seedext/kmer_index.hpp"
+#include "seedext/seeding.hpp"
+#include "seq/sequence.hpp"
+
+namespace saloba::seedext {
+
+struct MapperParams {
+  int k = 16;
+  bool use_fm_seeding = false;  ///< k-mer index by default; FM-index optional
+  SeedingParams seeding;
+  ChainingParams chaining;
+  JobParams jobs;
+  align::ScoringScheme scoring;
+};
+
+struct ReadMapping {
+  bool mapped = false;
+  std::size_t ref_pos = 0;      ///< inferred 0-based genome start of the read
+  bool reverse_strand = false;
+  align::Score score = 0;       ///< seed matches + extension scores
+};
+
+class ReadMapper {
+ public:
+  ReadMapper(std::vector<seq::BaseCode> genome, MapperParams params);
+  ~ReadMapper();
+  ReadMapper(ReadMapper&&) noexcept;
+
+  const std::vector<seq::BaseCode>& genome() const { return genome_; }
+  const MapperParams& params() const { return params_; }
+
+  /// Maps one read (tries both strands, extends the best chains on the CPU).
+  ReadMapping map(std::span<const seq::BaseCode> read) const;
+
+  /// Host-parallel batch mapping; output order matches input order.
+  std::vector<ReadMapping> map_batch(
+      std::span<const std::vector<seq::BaseCode>> reads) const;
+
+  /// Extracts every extension job the given reads generate (best strand,
+  /// all surviving chains) — the kernel workload of Fig. 2 / Fig. 8.
+  std::vector<ExtensionJob> collect_jobs(
+      std::span<const std::vector<seq::BaseCode>> reads) const;
+
+  /// Seeds for one read on its forward strand (exposed for tests/examples).
+  std::vector<Seed> seeds_of(std::span<const seq::BaseCode> read) const;
+
+ private:
+  struct StrandResult {
+    std::vector<Chain> chains;
+    std::int64_t coverage = 0;  ///< best chain score (strand selector)
+  };
+  StrandResult analyze(std::span<const seq::BaseCode> read) const;
+
+  std::vector<seq::BaseCode> genome_;
+  MapperParams params_;
+  std::unique_ptr<KmerIndex> kmer_index_;
+  std::unique_ptr<FmIndex> fm_index_;
+};
+
+}  // namespace saloba::seedext

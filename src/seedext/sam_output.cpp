@@ -1,0 +1,70 @@
+#include "seedext/sam_output.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "align/traceback.hpp"
+#include "util/check.hpp"
+
+namespace saloba::seedext {
+
+int mapq_from_score(align::Score score, std::size_t read_len,
+                    const align::ScoringScheme& scoring) {
+  if (read_len == 0 || score <= 0) return 0;
+  double max_score = static_cast<double>(read_len) * scoring.match;
+  double frac = std::clamp(static_cast<double>(score) / max_score, 0.0, 1.0);
+  // Map [0.3, 1.0] onto [0, 60]; anything below 30% identity-score is 0.
+  double q = (frac - 0.3) / 0.7 * 60.0;
+  return std::clamp(static_cast<int>(std::lround(q)), 0, 60);
+}
+
+seq::SamRecord to_sam_record(const ReadMapper& mapper, const seq::Sequence& read,
+                             const ReadMapping& mapping,
+                             const std::string& reference_name) {
+  seq::SamRecord record;
+  record.qname = read.name.empty() ? "read" : read.name;
+  record.seq = read.to_string();
+  if (read.quality.size() == read.bases.size()) record.qual = read.quality;
+
+  if (!mapping.mapped) {
+    record.flags = seq::SamRecord::kFlagUnmapped;
+    return record;
+  }
+
+  record.rname = reference_name;
+  record.flags = mapping.reverse_strand ? seq::SamRecord::kFlagReverse : 0;
+
+  // Re-derive the CIGAR by aligning the oriented read against a window
+  // around the mapped position.
+  const auto& genome = mapper.genome();
+  std::vector<seq::BaseCode> oriented =
+      mapping.reverse_strand ? seq::reverse_complement(read.bases) : read.bases;
+  std::size_t slack = std::max<std::size_t>(32, oriented.size() / 5);
+  std::size_t win_start = mapping.ref_pos > slack ? mapping.ref_pos - slack : 0;
+  std::size_t win_end = std::min(genome.size(), mapping.ref_pos + oriented.size() + slack);
+  SALOBA_CHECK(win_end > win_start);
+  std::span<const seq::BaseCode> window(genome.data() + win_start, win_end - win_start);
+
+  auto traced =
+      align::smith_waterman_traceback(window, oriented, mapper.params().scoring);
+  if (traced.end.score <= 0) {
+    record.flags |= seq::SamRecord::kFlagUnmapped;
+    return record;
+  }
+
+  record.pos = win_start + static_cast<std::size_t>(traced.ref_start) + 1;  // SAM is 1-based
+  // Soft-clip query bases outside the local alignment.
+  std::string cigar;
+  if (traced.query_start > 0) cigar += std::to_string(traced.query_start) + "S";
+  cigar += traced.cigar;
+  std::size_t tail =
+      oriented.size() - static_cast<std::size_t>(traced.end.query_end) - 1;
+  if (tail > 0) cigar += std::to_string(tail) + "S";
+  record.cigar = cigar;
+  record.mapq = mapq_from_score(traced.end.score, read.bases.size(),
+                                mapper.params().scoring);
+  record.tags.push_back("AS:i:" + std::to_string(traced.end.score));
+  return record;
+}
+
+}  // namespace saloba::seedext

@@ -1,0 +1,24 @@
+// Bridges the read-mapping pipeline to SAM output: recomputes the mapped
+// window's traceback for a proper CIGAR and derives MAPQ from the score
+// margin.
+#pragma once
+
+#include "seedext/pipeline.hpp"
+#include "seq/sam.hpp"
+#include "seq/sequence.hpp"
+
+namespace saloba::seedext {
+
+/// Builds a SAM record for one read. For mapped reads the CIGAR comes from
+/// a traceback of the (oriented) read against its mapped genome window;
+/// unmapped reads get flag 0x4 and star fields.
+seq::SamRecord to_sam_record(const ReadMapper& mapper, const seq::Sequence& read,
+                             const ReadMapping& mapping,
+                             const std::string& reference_name = "synthetic");
+
+/// Phred-style mapping quality in [0, 60] from the achieved fraction of the
+/// maximum possible score (a simple, monotone surrogate for a posterior).
+int mapq_from_score(align::Score score, std::size_t read_len,
+                    const align::ScoringScheme& scoring);
+
+}  // namespace saloba::seedext

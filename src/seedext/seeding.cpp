@@ -1,0 +1,103 @@
+#include "seedext/seeding.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace saloba::seedext {
+namespace {
+
+/// Extends an exact match at (qpos, rpos, len) as far as possible in both
+/// directions. N never matches (consistent with scoring).
+Seed extend_exact(std::span<const seq::BaseCode> genome, std::span<const seq::BaseCode> read,
+                  Seed seed) {
+  auto matches = [](seq::BaseCode a, seq::BaseCode b) {
+    return a == b && a < seq::kBaseN;
+  };
+  // Left.
+  while (seed.qpos > 0 && seed.rpos > 0 &&
+         matches(genome[seed.rpos - 1], read[seed.qpos - 1])) {
+    --seed.qpos;
+    --seed.rpos;
+    ++seed.len;
+  }
+  // Right.
+  while (seed.qpos + seed.len < read.size() && seed.rpos + seed.len < genome.size() &&
+         matches(genome[seed.rpos + seed.len], read[seed.qpos + seed.len])) {
+    ++seed.len;
+  }
+  return seed;
+}
+
+}  // namespace
+
+std::vector<Seed> find_seeds(const KmerIndex& index, std::span<const seq::BaseCode> genome,
+                             std::span<const seq::BaseCode> read,
+                             const SeedingParams& params) {
+  std::vector<Seed> seeds;
+  if (read.size() < static_cast<std::size_t>(index.k())) return seeds;
+
+  // Dedup extended seeds: a (diagonal, end) pair identifies a maximal match.
+  std::set<std::pair<std::int64_t, std::uint32_t>> seen;
+
+  const std::size_t last_q = read.size() - static_cast<std::size_t>(index.k());
+  for (std::size_t q = 0; q <= last_q; q += static_cast<std::size_t>(params.stride)) {
+    auto hits = index.lookup(read.subspan(q));
+    if (hits.empty() || hits.size() > params.max_hits) continue;
+    for (std::uint32_t rpos : hits) {
+      Seed seed{static_cast<std::uint32_t>(q), rpos, static_cast<std::uint32_t>(index.k())};
+      seed = extend_exact(genome, read, seed);
+      if (seed.len < static_cast<std::uint32_t>(params.min_seed_len)) continue;
+      auto key = std::make_pair(seed.diagonal(), seed.qpos + seed.len);
+      if (seen.insert(key).second) seeds.push_back(seed);
+    }
+  }
+  std::sort(seeds.begin(), seeds.end(), [](const Seed& a, const Seed& b) {
+    return a.qpos != b.qpos ? a.qpos < b.qpos : a.rpos < b.rpos;
+  });
+  return seeds;
+}
+
+std::vector<Seed> find_seeds_fm(const FmIndex& index, std::span<const seq::BaseCode> read,
+                                const SeedingParams& params) {
+  std::vector<Seed> seeds;
+  std::set<std::pair<std::int64_t, std::uint32_t>> seen;
+
+  // For each end position (right to left), grow the match leftwards while
+  // the backward-search interval stays nonempty; emit the longest match
+  // ending there. Greedy SMEM approximation: skip ends interior to the
+  // previous reported match to avoid quadratic blowup.
+  std::size_t next_allowed_end = read.size();
+  for (std::size_t end = read.size(); end > 0; --end) {
+    if (end > next_allowed_end) continue;
+    if (read[end - 1] >= seq::kAlphabetSize) continue;
+    FmIndex::Interval iv = index.whole_text();
+    std::size_t start = end;
+    FmIndex::Interval last = iv;
+    while (start > 0 && read[start - 1] < 4) {
+      FmIndex::Interval nxt = index.extend_left(iv, read[start - 1]);
+      if (nxt.size() == 0) break;
+      iv = nxt;
+      --start;
+      last = iv;
+    }
+    std::size_t len = end - start;
+    if (len < static_cast<std::size_t>(params.min_seed_len)) continue;
+    if (last.size() == 0 || last.size() > params.max_hits) continue;
+    for (std::uint32_t rpos :
+         index.locate(read.subspan(start, len), params.max_hits)) {
+      Seed seed{static_cast<std::uint32_t>(start), rpos, static_cast<std::uint32_t>(len)};
+      auto key = std::make_pair(seed.diagonal(), seed.qpos + seed.len);
+      if (seen.insert(key).second) seeds.push_back(seed);
+    }
+    next_allowed_end = start == 0 ? 0 : start + static_cast<std::size_t>(params.min_seed_len) - 1;
+    if (next_allowed_end >= end) next_allowed_end = end - 1;
+  }
+  std::sort(seeds.begin(), seeds.end(), [](const Seed& a, const Seed& b) {
+    return a.qpos != b.qpos ? a.qpos < b.qpos : a.rpos < b.rpos;
+  });
+  return seeds;
+}
+
+}  // namespace saloba::seedext

@@ -1,0 +1,162 @@
+#include "seedext/suffix_array.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace saloba::seedext {
+namespace {
+
+using std::int32_t;
+
+bool is_lms(const std::vector<bool>& t, int32_t i) { return i > 0 && t[i] && !t[i - 1]; }
+
+void get_buckets(const int32_t* s, int32_t n, int32_t k, std::vector<int32_t>& bkt, bool end) {
+  std::fill(bkt.begin(), bkt.end(), 0);
+  for (int32_t i = 0; i < n; ++i) ++bkt[s[i]];
+  int32_t sum = 0;
+  for (int32_t c = 0; c < k; ++c) {
+    sum += bkt[c];
+    bkt[c] = end ? sum : sum - bkt[c];
+  }
+}
+
+void induce(const int32_t* s, int32_t* sa, int32_t n, int32_t k, const std::vector<bool>& t,
+            std::vector<int32_t>& bkt) {
+  // Induce L-type suffixes left to right.
+  get_buckets(s, n, k, bkt, /*end=*/false);
+  for (int32_t i = 0; i < n; ++i) {
+    int32_t j = sa[i] - 1;
+    if (sa[i] > 0 && !t[j]) sa[bkt[s[j]]++] = j;
+  }
+  // Induce S-type suffixes right to left.
+  get_buckets(s, n, k, bkt, /*end=*/true);
+  for (int32_t i = n - 1; i >= 0; --i) {
+    int32_t j = sa[i] - 1;
+    if (sa[i] > 0 && t[j]) sa[--bkt[s[j]]] = j;
+  }
+}
+
+/// Core SA-IS on an integer string with a unique smallest sentinel at the
+/// end. `s` values are in [0, k); `sa` has room for n entries.
+void sais(const int32_t* s, int32_t* sa, int32_t n, int32_t k) {
+  SALOBA_DCHECK(n > 0);
+  if (n == 1) {
+    sa[0] = 0;
+    return;
+  }
+
+  std::vector<bool> t(static_cast<std::size_t>(n));
+  t[static_cast<std::size_t>(n - 1)] = true;  // sentinel is S-type
+  for (int32_t i = n - 2; i >= 0; --i) {
+    t[static_cast<std::size_t>(i)] =
+        s[i] < s[i + 1] || (s[i] == s[i + 1] && t[static_cast<std::size_t>(i + 1)]);
+  }
+
+  std::vector<int32_t> bkt(static_cast<std::size_t>(k));
+
+  // Step 1: sort LMS substrings by placing LMS positions at bucket ends and
+  // inducing.
+  std::fill(sa, sa + n, -1);
+  get_buckets(s, n, k, bkt, /*end=*/true);
+  for (int32_t i = n - 1; i >= 1; --i) {
+    if (is_lms(t, i)) sa[--bkt[s[i]]] = i;
+  }
+  induce(s, sa, n, k, t, bkt);
+
+  // Compact sorted LMS positions into sa[0..n1).
+  int32_t n1 = 0;
+  for (int32_t i = 0; i < n; ++i) {
+    if (sa[i] > 0 && is_lms(t, sa[i])) sa[n1++] = sa[i];
+  }
+
+  // Name LMS substrings into sa[n1..n).
+  std::fill(sa + n1, sa + n, -1);
+  int32_t name = 0, prev = -1;
+  for (int32_t i = 0; i < n1; ++i) {
+    int32_t pos = sa[i];
+    bool diff = false;
+    if (prev < 0) {
+      diff = true;
+    } else {
+      for (int32_t d = 0;; ++d) {
+        if (s[pos + d] != s[prev + d] ||
+            t[static_cast<std::size_t>(pos + d)] != t[static_cast<std::size_t>(prev + d)]) {
+          diff = true;
+          break;
+        }
+        if (d > 0 && (is_lms(t, pos + d) || is_lms(t, prev + d))) {
+          diff = is_lms(t, pos + d) != is_lms(t, prev + d);
+          break;
+        }
+      }
+    }
+    if (diff) {
+      ++name;
+      prev = pos;
+    }
+    sa[n1 + pos / 2] = name - 1;
+  }
+  for (int32_t i = n - 1, j = n - 1; i >= n1; --i) {
+    if (sa[i] >= 0) sa[j--] = sa[i];
+  }
+
+  // Step 2: recurse if names are not yet unique.
+  int32_t* s1 = sa + n - n1;
+  if (name < n1) {
+    sais(s1, sa, n1, name);
+  } else {
+    for (int32_t i = 0; i < n1; ++i) sa[s1[i]] = i;
+  }
+
+  // Step 3: map the order of LMS suffixes back and induce the full array.
+  // Reuse s1's space for the LMS position list (text order).
+  {
+    int32_t j = 0;
+    for (int32_t i = 1; i < n; ++i) {
+      if (is_lms(t, i)) s1[j++] = i;
+    }
+    SALOBA_DCHECK(j == n1);
+  }
+  for (int32_t i = 0; i < n1; ++i) sa[i] = s1[sa[i]];
+  std::fill(sa + n1, sa + n, -1);
+  get_buckets(s, n, k, bkt, /*end=*/true);
+  for (int32_t i = n1 - 1; i >= 0; --i) {
+    int32_t pos = sa[i];
+    sa[i] = -1;
+    sa[--bkt[s[pos]]] = pos;
+  }
+  induce(s, sa, n, k, t, bkt);
+}
+
+}  // namespace
+
+std::vector<int32_t> build_suffix_array(std::span<const seq::BaseCode> text) {
+  const auto n = static_cast<int32_t>(text.size());
+  if (n == 0) return {};
+  // Shift codes by +1 so 0 is the unique sentinel.
+  std::vector<int32_t> s(static_cast<std::size_t>(n) + 1);
+  for (int32_t i = 0; i < n; ++i) s[static_cast<std::size_t>(i)] = text[static_cast<std::size_t>(i)] + 1;
+  s[static_cast<std::size_t>(n)] = 0;
+
+  std::vector<int32_t> sa(static_cast<std::size_t>(n) + 1);
+  sais(s.data(), sa.data(), n + 1, seq::kAlphabetSize + 1);
+
+  // Drop the sentinel suffix (always first).
+  SALOBA_CHECK(sa[0] == n);
+  return {sa.begin() + 1, sa.end()};
+}
+
+std::vector<int32_t> build_suffix_array_naive(std::span<const seq::BaseCode> text) {
+  std::vector<int32_t> sa(text.size());
+  std::iota(sa.begin(), sa.end(), 0);
+  std::sort(sa.begin(), sa.end(), [&](int32_t a, int32_t b) {
+    std::span<const seq::BaseCode> sa_a = text.subspan(static_cast<std::size_t>(a));
+    std::span<const seq::BaseCode> sa_b = text.subspan(static_cast<std::size_t>(b));
+    return std::lexicographical_compare(sa_a.begin(), sa_a.end(), sa_b.begin(), sa_b.end());
+  });
+  return sa;
+}
+
+}  // namespace saloba::seedext

@@ -1,0 +1,22 @@
+// Suffix array construction via SA-IS (Nong, Zhang & Chan, 2009) — linear
+// time, linear memory. The substrate for the BWT/FM-index seeding path
+// (BWA-MEM, the paper's seed source, is BWT-based).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+
+namespace saloba::seedext {
+
+/// Suffix array of `text` (base codes 0..4). Returns indices of the n
+/// suffixes of `text` in lexicographic order (the virtual sentinel suffix is
+/// dropped). Comparison treats base codes numerically: A < C < G < T < N.
+std::vector<std::int32_t> build_suffix_array(std::span<const seq::BaseCode> text);
+
+/// Reference implementation: naive O(n^2 log n) sort. For tests.
+std::vector<std::int32_t> build_suffix_array_naive(std::span<const seq::BaseCode> text);
+
+}  // namespace saloba::seedext

@@ -1,0 +1,69 @@
+#include "seq/alphabet.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace saloba::seq {
+namespace {
+
+constexpr std::array<BaseCode, 256> build_encode_table() {
+  std::array<BaseCode, 256> t{};
+  for (auto& v : t) v = kBaseN;
+  t['A'] = t['a'] = kBaseA;
+  t['C'] = t['c'] = kBaseC;
+  t['G'] = t['g'] = kBaseG;
+  t['T'] = t['t'] = kBaseT;
+  t['U'] = t['u'] = kBaseT;  // RNA uracil aligns as T
+  return t;
+}
+
+constexpr auto kEncodeTable = build_encode_table();
+constexpr char kDecodeTable[5] = {'A', 'C', 'G', 'T', 'N'};
+
+}  // namespace
+
+BaseCode encode_base(char c) { return kEncodeTable[static_cast<unsigned char>(c)]; }
+
+char decode_base(BaseCode code) { return code < 5 ? kDecodeTable[code] : 'N'; }
+
+BaseCode complement(BaseCode code) {
+  switch (code) {
+    case kBaseA: return kBaseT;
+    case kBaseC: return kBaseG;
+    case kBaseG: return kBaseC;
+    case kBaseT: return kBaseA;
+    default: return kBaseN;
+  }
+}
+
+std::vector<BaseCode> encode_string(std::string_view s) {
+  std::vector<BaseCode> out(s.size());
+  std::transform(s.begin(), s.end(), out.begin(), encode_base);
+  return out;
+}
+
+std::string decode_string(const std::vector<BaseCode>& codes) {
+  std::string out(codes.size(), 'N');
+  std::transform(codes.begin(), codes.end(), out.begin(), decode_base);
+  return out;
+}
+
+std::vector<BaseCode> reverse_complement(const std::vector<BaseCode>& codes) {
+  std::vector<BaseCode> out(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    out[codes.size() - 1 - i] = complement(codes[i]);
+  }
+  return out;
+}
+
+bool is_valid_base_char(char c) {
+  switch (c) {
+    case 'A': case 'a': case 'C': case 'c': case 'G': case 'g':
+    case 'T': case 't': case 'U': case 'u': case 'N': case 'n':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace saloba::seq

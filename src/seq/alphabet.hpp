@@ -1,0 +1,48 @@
+// The five-letter nucleotide alphabet (A, C, G, T/U, N) and its encodings.
+//
+// Three packings exist in the baselines we reproduce (paper Table II):
+//   2-bit: {A,C,G,T} only; N is randomised by the caller (CUSHAW2/SOAP3 style)
+//   4-bit: all five bases, eight bases per 32-bit word (GASAL2/SALoBa style)
+//   8-bit: one base per byte (SW#/ADEPT style)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace saloba::seq {
+
+/// Canonical internal code: A=0, C=1, G=2, T/U=3, N=4.
+using BaseCode = std::uint8_t;
+
+inline constexpr BaseCode kBaseA = 0;
+inline constexpr BaseCode kBaseC = 1;
+inline constexpr BaseCode kBaseG = 2;
+inline constexpr BaseCode kBaseT = 3;
+inline constexpr BaseCode kBaseN = 4;
+inline constexpr int kAlphabetSize = 5;
+
+/// Maps an ASCII base (case-insensitive; U treated as T) to its code.
+/// Any unrecognised character maps to N, mirroring common aligner behaviour.
+BaseCode encode_base(char c);
+
+/// Maps a code back to uppercase ASCII ('N' for kBaseN and anything invalid).
+char decode_base(BaseCode code);
+
+/// Complement: A<->T, C<->G, N->N.
+BaseCode complement(BaseCode code);
+
+/// Encodes an ASCII string into codes.
+std::vector<BaseCode> encode_string(std::string_view s);
+
+/// Decodes codes back into an ASCII string.
+std::string decode_string(const std::vector<BaseCode>& codes);
+
+/// Reverse complement on code vectors.
+std::vector<BaseCode> reverse_complement(const std::vector<BaseCode>& codes);
+
+/// True if the character is one of A,C,G,T,U,N (either case).
+bool is_valid_base_char(char c);
+
+}  // namespace saloba::seq

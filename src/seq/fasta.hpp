@@ -1,0 +1,25 @@
+// FASTA / FASTQ reading and writing. Line-length agnostic, tolerant of CRLF,
+// strict about record structure (throws std::runtime_error with line info).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace saloba::seq {
+
+std::vector<Sequence> read_fasta(std::istream& in);
+std::vector<Sequence> read_fasta_file(const std::string& path);
+void write_fasta(std::ostream& out, const std::vector<Sequence>& seqs,
+                 std::size_t line_width = 70);
+void write_fasta_file(const std::string& path, const std::vector<Sequence>& seqs,
+                      std::size_t line_width = 70);
+
+std::vector<Sequence> read_fastq(std::istream& in);
+std::vector<Sequence> read_fastq_file(const std::string& path);
+void write_fastq(std::ostream& out, const std::vector<Sequence>& seqs);
+void write_fastq_file(const std::string& path, const std::vector<Sequence>& seqs);
+
+}  // namespace saloba::seq

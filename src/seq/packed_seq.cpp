@@ -1,0 +1,97 @@
+#include "seq/packed_seq.hpp"
+
+#include "util/check.hpp"
+
+namespace saloba::seq {
+namespace {
+
+std::uint32_t mask_for(Packing p) {
+  switch (p) {
+    case Packing::k2Bit: return 0x3u;
+    case Packing::k4Bit: return 0xFu;
+    case Packing::k8Bit: return 0xFFu;
+  }
+  return 0xFu;
+}
+
+BaseCode substitute(BaseCode c, Packing p, BaseCode n_substitute) {
+  if (p == Packing::k2Bit && c == kBaseN) return n_substitute;
+  return c;
+}
+
+}  // namespace
+
+PackedSeq::PackedSeq(std::span<const BaseCode> codes, Packing packing, BaseCode n_substitute)
+    : packing_(packing), length_(codes.size()) {
+  const int per_word = bases_per_word(packing);
+  const int bits = static_cast<int>(packing);
+  words_.assign((codes.size() + per_word - 1) / per_word, 0u);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    BaseCode c = substitute(codes[i], packing, n_substitute);
+    SALOBA_DCHECK(c < kAlphabetSize);
+    if (packing == Packing::k2Bit) SALOBA_DCHECK(c < 4);
+    std::size_t w = i / static_cast<std::size_t>(per_word);
+    int slot = static_cast<int>(i % static_cast<std::size_t>(per_word));
+    words_[w] |= static_cast<std::uint32_t>(c) << (slot * bits);
+  }
+}
+
+BaseCode PackedSeq::base(std::size_t i) const {
+  SALOBA_DCHECK(i < length_);
+  return extract_base(words_.data(), i, packing_);
+}
+
+std::vector<BaseCode> PackedSeq::unpack() const {
+  std::vector<BaseCode> out(length_);
+  for (std::size_t i = 0; i < length_; ++i) out[i] = base(i);
+  return out;
+}
+
+BaseCode extract_base(const std::uint32_t* words, std::size_t i, Packing packing) {
+  const int per_word = bases_per_word(packing);
+  const int bits = static_cast<int>(packing);
+  std::size_t w = i / static_cast<std::size_t>(per_word);
+  int slot = static_cast<int>(i % static_cast<std::size_t>(per_word));
+  return static_cast<BaseCode>((words[w] >> (slot * bits)) & mask_for(packing));
+}
+
+BaseCode PackedBatch::base(std::size_t seq, std::size_t i) const {
+  SALOBA_DCHECK(seq < length.size());
+  SALOBA_DCHECK(i < length[seq]);
+  return extract_base(words.data() + word_offset[seq], i, packing);
+}
+
+std::uint32_t PackedBatch::word(std::size_t seq, std::size_t w) const {
+  SALOBA_DCHECK(seq < word_offset.size());
+  return words[word_offset[seq] + w];
+}
+
+std::size_t PackedBatch::word_count(std::size_t seq) const {
+  const int per_word = bases_per_word(packing);
+  return (length[seq] + static_cast<std::size_t>(per_word) - 1) /
+         static_cast<std::size_t>(per_word);
+}
+
+PackedBatch pack_batch(std::span<const std::vector<BaseCode>> seqs, Packing packing,
+                       BaseCode n_substitute) {
+  PackedBatch batch;
+  batch.packing = packing;
+  batch.word_offset.reserve(seqs.size());
+  batch.length.reserve(seqs.size());
+  std::size_t total_words = 0;
+  const int per_word = bases_per_word(packing);
+  for (const auto& s : seqs) {
+    total_words += (s.size() + static_cast<std::size_t>(per_word) - 1) /
+                   static_cast<std::size_t>(per_word);
+  }
+  batch.words.reserve(total_words);
+  for (const auto& s : seqs) {
+    PackedSeq packed(s, packing, n_substitute);
+    batch.word_offset.push_back(static_cast<std::uint32_t>(batch.words.size()));
+    batch.length.push_back(static_cast<std::uint32_t>(s.size()));
+    batch.words.insert(batch.words.end(), packed.data(), packed.data() + packed.words());
+  }
+  return batch;
+}
+
+}  // namespace saloba::seq

@@ -1,0 +1,85 @@
+// Bit-packed sequence storage with 32-bit word access.
+//
+// GPU kernels fetch one 32-bit register worth of bases per global-memory
+// read (paper Sec. II-B): 16 bases at 2-bit, 8 bases at 4-bit, 4 bases at
+// 8-bit. PackedSeq reproduces exactly that layout so the simulated kernels
+// issue the same word-granular access streams as the CUDA originals.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+
+namespace saloba::seq {
+
+enum class Packing : int {
+  k2Bit = 2,  ///< {A,C,G,T}; N is substituted before packing (see pack_2bit)
+  k4Bit = 4,  ///< all 5 bases; the GASAL2/SALoBa representation
+  k8Bit = 8,  ///< one byte per base; SW#/ADEPT representation
+};
+
+/// Bases stored per 32-bit word for a packing.
+constexpr int bases_per_word(Packing p) { return 32 / static_cast<int>(p); }
+
+class PackedSeq {
+ public:
+  PackedSeq() = default;
+
+  /// Packs `codes`. For k2Bit, N bases are replaced with `n_substitute`
+  /// (CUSHAW2-GPU converts N to a random base; callers pass the choice in so
+  /// packing itself stays deterministic).
+  PackedSeq(std::span<const BaseCode> codes, Packing packing,
+            BaseCode n_substitute = kBaseA);
+
+  Packing packing() const { return packing_; }
+  std::size_t size() const { return length_; }  ///< number of bases
+  std::size_t words() const { return words_.size(); }
+
+  /// The i-th base (decoded from the packed words).
+  BaseCode base(std::size_t i) const;
+
+  /// The w-th 32-bit word, as a kernel's register fetch would see it.
+  std::uint32_t word(std::size_t w) const { return words_[w]; }
+
+  /// Unpacks the whole sequence back into codes. For k2Bit this returns the
+  /// substituted bases, not the original Ns — that information is lost by
+  /// design, as in the modelled libraries.
+  std::vector<BaseCode> unpack() const;
+
+  /// Byte footprint of the packed words (what a kernel must ship to DRAM).
+  std::size_t byte_size() const { return words_.size() * sizeof(std::uint32_t); }
+
+  const std::uint32_t* data() const { return words_.data(); }
+
+ private:
+  Packing packing_ = Packing::k4Bit;
+  std::size_t length_ = 0;
+  std::vector<std::uint32_t> words_;
+};
+
+/// Extracts base `i` from a packed word array without materialising a
+/// PackedSeq — used by kernels operating on batch-packed buffers.
+BaseCode extract_base(const std::uint32_t* words, std::size_t i, Packing packing);
+
+/// Packs many sequences back to back, each padded to a whole word so every
+/// sequence starts word-aligned (matching GASAL2's batch layout). Offsets
+/// are in words.
+struct PackedBatch {
+  Packing packing = Packing::k4Bit;
+  std::vector<std::uint32_t> words;
+  std::vector<std::uint32_t> word_offset;  ///< per-sequence start, in words
+  std::vector<std::uint32_t> length;       ///< per-sequence base count
+
+  std::size_t size() const { return length.size(); }
+  BaseCode base(std::size_t seq, std::size_t i) const;
+  std::uint32_t word(std::size_t seq, std::size_t w) const;
+  /// Words occupied by sequence `seq`.
+  std::size_t word_count(std::size_t seq) const;
+};
+
+PackedBatch pack_batch(std::span<const std::vector<BaseCode>> seqs, Packing packing,
+                       BaseCode n_substitute = kBaseA);
+
+}  // namespace saloba::seq

@@ -1,0 +1,81 @@
+#include "seq/random_genome.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace saloba::seq {
+namespace {
+
+using util::Xoshiro256;
+
+BaseCode random_base(Xoshiro256& rng, double gc) {
+  // P(G)+P(C)=gc, split evenly; same for A/T.
+  double u = rng.uniform();
+  if (u < gc * 0.5) return kBaseG;
+  if (u < gc) return kBaseC;
+  if (u < gc + (1.0 - gc) * 0.5) return kBaseA;
+  return kBaseT;
+}
+
+}  // namespace
+
+std::vector<BaseCode> generate_genome(const GenomeParams& params) {
+  SALOBA_CHECK_MSG(params.length >= 1000, "genome must be at least 1 kbp");
+  SALOBA_CHECK(params.gc_content > 0.0 && params.gc_content < 1.0);
+  SALOBA_CHECK(params.repeat_unit_min >= 2 && params.repeat_unit_min <= params.repeat_unit_max);
+
+  Xoshiro256 rng(params.seed);
+  std::vector<BaseCode> genome(params.length);
+
+  // Background.
+  for (auto& b : genome) b = random_base(rng, params.gc_content);
+
+  // Planted repeats: pick a unit from already-generated material and tile or
+  // copy it elsewhere, until the requested coverage is reached.
+  std::size_t repeat_budget =
+      static_cast<std::size_t>(params.repeat_fraction * static_cast<double>(params.length));
+  std::size_t planted = 0;
+  while (planted < repeat_budget) {
+    std::size_t unit_len = params.repeat_unit_min +
+                           rng.below(params.repeat_unit_max - params.repeat_unit_min + 1);
+    if (unit_len * 2 >= params.length) break;
+    std::size_t src = rng.below(params.length - unit_len);
+    std::size_t copies = 1 + rng.below(6);
+    bool tandem = rng.bernoulli(0.5);
+    if (tandem) {
+      // Tandem: repeat the unit immediately after itself.
+      std::size_t dst = src + unit_len;
+      for (std::size_t c = 0; c < copies && dst + unit_len <= params.length; ++c) {
+        std::copy_n(genome.begin() + static_cast<std::ptrdiff_t>(src), unit_len,
+                    genome.begin() + static_cast<std::ptrdiff_t>(dst));
+        dst += unit_len;
+        planted += unit_len;
+      }
+    } else {
+      // Dispersed: copy the unit to random positions (Alu-like behaviour).
+      for (std::size_t c = 0; c < copies; ++c) {
+        std::size_t dst = rng.below(params.length - unit_len);
+        std::copy_n(genome.begin() + static_cast<std::ptrdiff_t>(src), unit_len,
+                    genome.begin() + static_cast<std::ptrdiff_t>(dst));
+        planted += unit_len;
+      }
+    }
+  }
+
+  // Assembly-gap style N runs.
+  std::size_t n_budget =
+      static_cast<std::size_t>(params.n_fraction * static_cast<double>(params.length));
+  while (n_budget > 0) {
+    std::size_t run = std::min<std::size_t>(n_budget, 10 + rng.below(191));
+    if (run >= params.length) break;
+    std::size_t pos = rng.below(params.length - run);
+    std::fill_n(genome.begin() + static_cast<std::ptrdiff_t>(pos), run, kBaseN);
+    n_budget -= run;
+  }
+
+  return genome;
+}
+
+}  // namespace saloba::seq

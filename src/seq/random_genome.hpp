@@ -1,0 +1,31 @@
+// Synthetic reference-genome generator — our stand-in for GRCh38.p13.
+//
+// Real genomes are not i.i.d.: they have GC bias, repeat families, and
+// low-complexity stretches, all of which matter for seeding (repeats create
+// multi-hit seeds, which widens the extension-length distribution in Fig. 2).
+// The generator plants tandem repeats and duplicated segments on top of a
+// GC-biased random background so the seedext pipeline sees realistic
+// structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+
+namespace saloba::seq {
+
+struct GenomeParams {
+  std::size_t length = 1 << 20;  ///< bases
+  double gc_content = 0.41;      ///< human-like GC fraction
+  double repeat_fraction = 0.15; ///< fraction of genome covered by planted repeats
+  std::size_t repeat_unit_min = 50;
+  std::size_t repeat_unit_max = 500;
+  double n_fraction = 0.001;     ///< assembly-gap style N runs
+  std::uint64_t seed = 42;
+};
+
+/// Generates a genome per the params. Deterministic in `seed`.
+std::vector<BaseCode> generate_genome(const GenomeParams& params);
+
+}  // namespace saloba::seq

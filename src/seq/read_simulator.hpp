@@ -1,0 +1,75 @@
+// Wgsim-style read simulator (the paper uses "an in-house sequence read
+// simulator similar to Wgsim", Sec. V-B).
+//
+// Two built-in profiles reproduce the paper's datasets:
+//   illumina_250bp() → dataset A' (SRR835433 stand-in: fixed 250 bp,
+//     substitution-dominated errors, low indel rate)
+//   pacbio_2kbp()    → dataset B' (SRP091981 stand-in: log-normal ~2 kbp,
+//     indel-heavy 10-15% error)
+// Plus equal_length() used by the Fig. 6 synthetic sweeps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+#include "seq/sequence.hpp"
+#include "util/rng.hpp"
+
+namespace saloba::seq {
+
+struct ReadProfile {
+  std::size_t length_mean = 250;   ///< exact length when length_sigma == 0
+  double length_sigma = 0.0;       ///< sigma of underlying normal (log-normal lengths)
+  std::size_t length_min = 50;
+  std::size_t length_max = 1 << 16;
+  double mutation_rate = 0.001;    ///< genome SNP/indel rate applied to the sampled region
+  double indel_fraction = 0.10;    ///< fraction of mutations that are indels
+  double error_rate = 0.005;       ///< per-base sequencing error
+  double error_indel_fraction = 0.0;  ///< fraction of errors that are indels
+  bool sample_both_strands = true;
+
+  static ReadProfile illumina_250bp();
+  static ReadProfile pacbio_2kbp();
+  static ReadProfile equal_length(std::size_t len);
+};
+
+/// A simulated read plus its ground-truth origin (for mapping validation).
+struct SimulatedRead {
+  Sequence read;
+  std::size_t true_pos = 0;   ///< 0-based start of sampled region in the genome
+  std::size_t true_len = 0;   ///< length of the sampled genomic region
+  bool reverse_strand = false;
+};
+
+class ReadSimulator {
+ public:
+  ReadSimulator(std::vector<BaseCode> genome, ReadProfile profile, std::uint64_t seed = 7);
+
+  /// Draws one read.
+  SimulatedRead simulate_one();
+
+  /// Draws `count` reads.
+  std::vector<SimulatedRead> simulate(std::size_t count);
+
+  const std::vector<BaseCode>& genome() const { return genome_; }
+  const ReadProfile& profile() const { return profile_; }
+
+ private:
+  std::size_t draw_length();
+
+  std::vector<BaseCode> genome_;
+  ReadProfile profile_;
+  std::uint64_t next_id_ = 0;
+  util::Xoshiro256 rng_;
+};
+
+/// Builds equal-length (query, reference) pairs directly, for the Fig. 6
+/// sweeps: the reference segment is the true genomic window, the query is a
+/// mutated/error-injected copy of the same window. Both have exactly `len`
+/// bases.
+PairBatch make_equal_length_batch(const std::vector<BaseCode>& genome, std::size_t len,
+                                  std::size_t pairs, double divergence, std::uint64_t seed);
+
+}  // namespace saloba::seq

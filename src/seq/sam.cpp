@@ -1,0 +1,61 @@
+#include "seq/sam.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace saloba::seq {
+
+SamWriter::SamWriter(std::ostream& out, const SamHeader& header) : out_(out) {
+  out_ << "@HD\tVN:1.6\tSO:unknown\n";
+  if (header.reference_length > 0) {
+    out_ << "@SQ\tSN:" << header.reference_name << "\tLN:" << header.reference_length << '\n';
+  }
+  out_ << "@PG\tID:" << header.program_id << "\tPN:" << header.program_id
+       << "\tVN:" << header.program_version;
+  if (!header.command_line.empty()) out_ << "\tCL:" << header.command_line;
+  out_ << '\n';
+}
+
+void SamWriter::write(const SamRecord& r) {
+  SALOBA_CHECK_MSG(!r.qname.empty(), "SAM record needs a QNAME");
+  out_ << r.qname << '\t' << r.flags << '\t' << (r.unmapped() ? "*" : r.rname) << '\t'
+       << (r.unmapped() ? 0 : r.pos) << '\t' << r.mapq << '\t'
+       << (r.unmapped() ? "*" : r.cigar) << "\t*\t0\t0\t" << (r.seq.empty() ? "*" : r.seq)
+       << '\t' << (r.qual.empty() ? "*" : r.qual);
+  for (const auto& tag : r.tags) out_ << '\t' << tag;
+  out_ << '\n';
+  ++records_;
+}
+
+std::vector<SamRecord> read_sam(std::istream& in) {
+  std::vector<SamRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '@') continue;
+    std::istringstream fields(line);
+    SamRecord r;
+    std::string pos_text, mapq_text, flags_text, rnext, pnext, tlen;
+    if (!(std::getline(fields, r.qname, '\t') && std::getline(fields, flags_text, '\t') &&
+          std::getline(fields, r.rname, '\t') && std::getline(fields, pos_text, '\t') &&
+          std::getline(fields, mapq_text, '\t') && std::getline(fields, r.cigar, '\t') &&
+          std::getline(fields, rnext, '\t') && std::getline(fields, pnext, '\t') &&
+          std::getline(fields, tlen, '\t') && std::getline(fields, r.seq, '\t'))) {
+      throw std::runtime_error("malformed SAM record at line " + std::to_string(line_no));
+    }
+    std::getline(fields, r.qual, '\t');  // QUAL may be the final field
+    r.flags = std::stoi(flags_text);
+    r.pos = static_cast<std::size_t>(std::stoull(pos_text));
+    r.mapq = std::stoi(mapq_text);
+    std::string tag;
+    while (std::getline(fields, tag, '\t')) r.tags.push_back(tag);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace saloba::seq

@@ -1,0 +1,59 @@
+// Minimal SAM (Sequence Alignment/Map) output — the format downstream
+// genomics tooling consumes, so the pipeline's results are actually usable.
+// Implements the subset the mapper produces: header (@HD/@SQ/@PG), single-
+// end records with flags for unmapped/reverse, MAPQ, CIGAR, and sequence.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace saloba::seq {
+
+struct SamHeader {
+  std::string reference_name = "synthetic";
+  std::size_t reference_length = 0;
+  std::string program_id = "saloba";
+  std::string program_version = "1.0.0";
+  std::string command_line;
+};
+
+struct SamRecord {
+  std::string qname;
+  /// Flag bits used here: 0x4 unmapped, 0x10 reverse strand.
+  int flags = 0;
+  std::string rname = "*";
+  /// 1-based leftmost mapping position (0 when unmapped).
+  std::size_t pos = 0;
+  int mapq = 0;
+  std::string cigar = "*";
+  std::string seq;
+  std::string qual = "*";
+  /// Optional tags, already formatted ("AS:i:42").
+  std::vector<std::string> tags;
+
+  static constexpr int kFlagUnmapped = 0x4;
+  static constexpr int kFlagReverse = 0x10;
+
+  bool unmapped() const { return (flags & kFlagUnmapped) != 0; }
+};
+
+class SamWriter {
+ public:
+  SamWriter(std::ostream& out, const SamHeader& header);
+  void write(const SamRecord& record);
+  std::size_t records_written() const { return records_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t records_ = 0;
+};
+
+/// Parses the subset we emit — enough for round-trip tests and for reading
+/// our own output back.
+std::vector<SamRecord> read_sam(std::istream& in);
+
+}  // namespace saloba::seq

@@ -1,0 +1,30 @@
+#include "seq/sequence.hpp"
+
+#include <algorithm>
+
+namespace saloba::seq {
+
+void PairBatch::add(std::vector<BaseCode> q, std::vector<BaseCode> r) {
+  queries.push_back(std::move(q));
+  refs.push_back(std::move(r));
+}
+
+std::size_t PairBatch::max_query_len() const {
+  std::size_t m = 0;
+  for (const auto& q : queries) m = std::max(m, q.size());
+  return m;
+}
+
+std::size_t PairBatch::max_ref_len() const {
+  std::size_t m = 0;
+  for (const auto& r : refs) m = std::max(m, r.size());
+  return m;
+}
+
+std::size_t PairBatch::total_cells() const {
+  std::size_t cells = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) cells += queries[i].size() * refs[i].size();
+  return cells;
+}
+
+}  // namespace saloba::seq

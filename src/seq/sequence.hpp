@@ -1,0 +1,36 @@
+// Named sequences and batches of query/reference pairs — the unit of work a
+// seed-extension kernel consumes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+
+namespace saloba::seq {
+
+struct Sequence {
+  std::string name;
+  std::vector<BaseCode> bases;
+  std::string quality;  ///< optional FASTQ quality string (empty for FASTA)
+
+  std::size_t size() const { return bases.size(); }
+  std::string to_string() const { return decode_string(bases); }
+};
+
+/// A batch of (query, reference) pairs to extend — one-to-one mapping as in
+/// the paper's evaluation (all baselines were modified to one-to-one).
+struct PairBatch {
+  std::vector<std::vector<BaseCode>> queries;
+  std::vector<std::vector<BaseCode>> refs;
+
+  std::size_t size() const { return queries.size(); }
+  void add(std::vector<BaseCode> q, std::vector<BaseCode> r);
+  std::size_t max_query_len() const;
+  std::size_t max_ref_len() const;
+  std::size_t total_cells() const;  ///< Σ |q|·|r| — the DP workload measure
+};
+
+}  // namespace saloba::seq

@@ -1,0 +1,121 @@
+#include "util/args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace saloba::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help, bool default_value) {
+  specs_[name] = Spec{Kind::kFlag, help, default_value ? "1" : "0"};
+  order_.push_back(name);
+}
+
+void ArgParser::add_int(const std::string& name, const std::string& help,
+                        std::int64_t default_value) {
+  specs_[name] = Spec{Kind::kInt, help, std::to_string(default_value)};
+  order_.push_back(name);
+}
+
+void ArgParser::add_double(const std::string& name, const std::string& help,
+                           double default_value) {
+  std::ostringstream oss;
+  oss << default_value;
+  specs_[name] = Spec{Kind::kDouble, help, oss.str()};
+  order_.push_back(name);
+}
+
+void ArgParser::add_string(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  specs_[name] = Spec{Kind::kString, help, default_value};
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      std::fprintf(stderr, "%s: unknown flag --%s\n%s", program_.c_str(), name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    if (it->second.kind == Kind::kFlag) {
+      it->second.value = has_value ? value : "1";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: flag --%s needs a value\n", program_.c_str(), name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const ArgParser::Spec& ArgParser::spec_of(const std::string& name, Kind kind) const {
+  auto it = specs_.find(name);
+  SALOBA_CHECK_MSG(it != specs_.end(), "undeclared flag --" << name);
+  SALOBA_CHECK_MSG(it->second.kind == kind, "flag --" << name << " accessed with wrong type");
+  return it->second;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const auto& s = spec_of(name, Kind::kFlag);
+  return s.value != "0" && s.value != "false" && !s.value.empty();
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::strtoll(spec_of(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::strtod(spec_of(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return spec_of(name, Kind::kString).value;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const auto& s = specs_.at(name);
+    out << "  --" << name;
+    switch (s.kind) {
+      case Kind::kFlag: break;
+      case Kind::kInt: out << "=<int>"; break;
+      case Kind::kDouble: out << "=<float>"; break;
+      case Kind::kString: out << "=<str>"; break;
+    }
+    out << "  " << s.help << " (default: " << s.value << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace saloba::util

@@ -1,0 +1,52 @@
+// Tiny flag parser for examples and bench binaries:
+// --name=value / --name value / --flag (boolean). Unknown flags error out,
+// positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace saloba::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Declare flags before parse(). `help` is shown by usage().
+  void add_flag(const std::string& name, const std::string& help, bool default_value = false);
+  void add_int(const std::string& name, const std::string& help, std::int64_t default_value);
+  void add_double(const std::string& name, const std::string& help, double default_value);
+  void add_string(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Returns false (after printing usage) on error or --help.
+  bool parse(int argc, char** argv);
+
+  bool get_flag(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Spec {
+    Kind kind;
+    std::string help;
+    std::string value;  // textual; parsed on get
+  };
+  const Spec& spec_of(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace saloba::util

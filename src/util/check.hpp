@@ -1,0 +1,40 @@
+// Runtime invariant checks. SALOBA_CHECK is always on (aborts with context);
+// SALOBA_DCHECK compiles away in NDEBUG builds. Prefer these to <cassert> so
+// release bench binaries still validate user-facing preconditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace saloba::util {
+
+[[noreturn]] inline void check_failed(const char* file, int line, const char* expr,
+                                      const std::string& msg) {
+  std::fprintf(stderr, "[saloba] CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace saloba::util
+
+#define SALOBA_CHECK(expr)                                                \
+  do {                                                                    \
+    if (!(expr)) ::saloba::util::check_failed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define SALOBA_CHECK_MSG(expr, ...)                                       \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream oss_;                                            \
+      oss_ << __VA_ARGS__;                                                \
+      ::saloba::util::check_failed(__FILE__, __LINE__, #expr, oss_.str()); \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define SALOBA_DCHECK(expr) ((void)0)
+#else
+#define SALOBA_DCHECK(expr) SALOBA_CHECK(expr)
+#endif

@@ -1,0 +1,27 @@
+// CSV writer used by benches so figure series can be replotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace saloba::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+  const std::string& path() const { return path_; }
+
+  /// RFC-4180 quoting for cells containing commas/quotes/newlines.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace saloba::util

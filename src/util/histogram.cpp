@@ -1,0 +1,55 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace saloba::util {
+
+Histogram::Histogram(double lo, double hi, double width) : lo_(lo), hi_(hi), width_(width) {
+  SALOBA_CHECK_MSG(hi > lo && width > 0, "bad histogram bounds");
+  auto n = static_cast<std::size_t>(std::ceil((hi - lo) / width));
+  counts_.assign(n + 1, 0);  // +1 overflow
+}
+
+void Histogram::add(double x) { add_n(x, 1); }
+
+void Histogram::add_n(double x, std::uint64_t n) {
+  total_ += n;
+  if (x < lo_) {
+    underflow_ += n;
+    return;
+  }
+  if (x >= hi_) {
+    counts_.back() += n;
+    return;
+  }
+  auto i = static_cast<std::size_t>((x - lo_) / width_);
+  i = std::min(i, counts_.size() - 2);
+  counts_[i] += n;
+}
+
+double Histogram::bucket_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+std::string Histogram::render(std::size_t max_bar) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    double lo = bucket_lo(i);
+    char label[40];
+    if (i + 1 == counts_.size()) {
+      std::snprintf(label, sizeof label, "%8.0f+      ", hi_);
+    } else {
+      std::snprintf(label, sizeof label, "%8.0f-%-7.0f", lo, lo + width_);
+    }
+    auto bar = static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                        static_cast<double>(peak) * static_cast<double>(max_bar));
+    out << label << ' ' << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace saloba::util

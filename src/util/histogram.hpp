@@ -1,0 +1,40 @@
+// Fixed-width histogram with ASCII rendering — used to reproduce the Fig. 2
+// sequence-length distributions in bench/fig2_distributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace saloba::util {
+
+class Histogram {
+ public:
+  /// Buckets of `width` covering [lo, hi); values >= hi land in an overflow
+  /// bucket rendered as "hi+".
+  Histogram(double lo, double hi, double width);
+
+  void add(double x);
+  void add_n(double x, std::uint64_t n);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  /// Inclusive lower edge of bucket i.
+  double bucket_lo(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  /// Overflow is the final bucket by construction.
+  std::uint64_t overflow() const { return counts_.empty() ? 0 : counts_.back(); }
+
+  /// Multi-line bar rendering, `max_bar` columns for the tallest bucket.
+  std::string render(std::size_t max_bar = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;  // last element = overflow bucket
+  std::uint64_t underflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace saloba::util

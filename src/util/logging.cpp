@@ -1,0 +1,73 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace saloba::util {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = not yet initialised from env
+std::mutex g_emit_mutex;
+
+int init_from_env() {
+  const char* env = std::getenv("SALOBA_LOG");
+  LogLevel level = env ? parse_log_level(env) : LogLevel::kInfo;
+  return static_cast<int>(level);
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = init_from_env();
+    g_level.store(v);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string low;
+  low.reserve(name.size());
+  for (char c : name) low.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (low == "trace") return LogLevel::kTrace;
+  if (low == "debug") return LogLevel::kDebug;
+  if (low == "info") return LogLevel::kInfo;
+  if (low == "warn" || low == "warning") return LogLevel::kWarn;
+  if (low == "error") return LogLevel::kError;
+  if (low == "off" || low == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  // Strip directories for compactness.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[saloba %-5s %s:%d] %s\n", log_level_name(level), base, line,
+               msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace saloba::util

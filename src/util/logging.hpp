@@ -1,0 +1,40 @@
+// Minimal leveled logger. Thread-safe, writes to stderr. Level is a process
+// global settable via set_level() or the SALOBA_LOG environment variable
+// (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace saloba::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+/// Current global level (initialised from $SALOBA_LOG on first use).
+LogLevel log_level();
+/// Parses "info", "DEBUG", ... ; returns kInfo for unknown strings.
+LogLevel parse_log_level(const std::string& name);
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const char* file, int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace saloba::util
+
+#define SALOBA_LOG(level, ...)                                                   \
+  do {                                                                           \
+    if (static_cast<int>(level) >= static_cast<int>(::saloba::util::log_level())) { \
+      std::ostringstream oss_;                                                   \
+      oss_ << __VA_ARGS__;                                                       \
+      ::saloba::util::detail::log_emit(level, __FILE__, __LINE__, oss_.str());   \
+    }                                                                            \
+  } while (0)
+
+#define SALOBA_TRACE(...) SALOBA_LOG(::saloba::util::LogLevel::kTrace, __VA_ARGS__)
+#define SALOBA_DEBUG(...) SALOBA_LOG(::saloba::util::LogLevel::kDebug, __VA_ARGS__)
+#define SALOBA_INFO(...) SALOBA_LOG(::saloba::util::LogLevel::kInfo, __VA_ARGS__)
+#define SALOBA_WARN(...) SALOBA_LOG(::saloba::util::LogLevel::kWarn, __VA_ARGS__)
+#define SALOBA_ERROR(...) SALOBA_LOG(::saloba::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,43 @@
+// parallel_for_indexed: the one host-parallelism primitive hot code uses.
+// Maps to OpenMP when available (SALOBA_HAVE_OPENMP), serial otherwise.
+// Deterministic outputs are required from all call sites: bodies may only
+// write to index-owned slots or thread-shard accumulators.
+#pragma once
+
+#include <cstddef>
+
+#if defined(SALOBA_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace saloba::util {
+
+inline int max_parallel_threads() {
+#if defined(SALOBA_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+inline int current_thread_index() {
+#if defined(SALOBA_HAVE_OPENMP)
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+template <typename Body>
+void parallel_for_indexed(std::size_t n, const Body& body) {
+#if defined(SALOBA_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 1)
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+    body(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
+}  // namespace saloba::util

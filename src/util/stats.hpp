@@ -1,0 +1,40 @@
+// Small descriptive-statistics helpers used by benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace saloba::util {
+
+double mean(std::span<const double> xs);
+double geomean(std::span<const double> xs);  ///< requires all xs > 0
+double stddev(std::span<const double> xs);   ///< sample stddev (n-1)
+double median(std::span<const double> xs);
+/// Linear-interpolated percentile, p in [0,100].
+double percentile(std::span<const double> xs, double p);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+/// Coefficient of variation (stddev/mean); 0 for empty or zero-mean input.
+double coeff_variation(std::span<const double> xs);
+
+/// Running (streaming) statistics via Welford's algorithm.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace saloba::util

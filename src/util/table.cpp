@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace saloba::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SALOBA_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SALOBA_CHECK_MSG(cells.size() == headers_.size(),
+                   "row arity " << cells.size() << " != header arity " << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::ms(double v) {
+  char buf[64];
+  if (v < 0.1) {
+    std::snprintf(buf, sizeof buf, "%.1f us", v * 1000.0);
+  } else if (v < 100.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f ms", v);
+  }
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto emit_row = [&](std::ostringstream& out, const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  emit_row(out, headers_);
+  out << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) out << std::string(widths[c] + 2, '-') << '|';
+  out << '\n';
+  for (const auto& row : rows_) emit_row(out, row);
+  return out.str();
+}
+
+}  // namespace saloba::util

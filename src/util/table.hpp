@@ -1,0 +1,30 @@
+// ASCII table writer used by the bench harnesses to print paper-style rows.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace saloba::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with `precision` digits.
+  static std::string num(double v, int precision = 2);
+  /// Formats a time in ms with adaptive precision (µs below 0.1 ms).
+  static std::string ms(double v);
+
+  std::size_t rows() const { return rows_.size(); }
+  /// Renders with a ruled header and column alignment.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace saloba::util

@@ -1,0 +1,66 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace saloba::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunks(n, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  std::size_t parts = std::min(n, workers_.size());
+  if (parts <= 1) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(parts);
+  std::size_t chunk = (n + parts - 1) / parts;
+  for (std::size_t p = 0; p < parts; ++p) {
+    std::size_t begin = p * chunk;
+    std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    futs.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+}  // namespace saloba::util

@@ -1,0 +1,63 @@
+// Work-stealing-free, chunk-based thread pool plus a parallel_for helper.
+// The gpusim warp scheduler and the CPU batch aligner both use parallel_for;
+// when OpenMP is available parallel_for maps onto `omp parallel for` instead
+// (see parallel.hpp), so this pool mainly serves long-lived pipeline stages.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace saloba::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 → hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      jobs_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [0, n) across the pool; blocks until done.
+  /// Static chunking: each worker gets a contiguous range, which is the
+  /// right default for our uniform-cost warp batches.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Chunked variant: fn(begin, end) per contiguous range, so per-thread
+  /// accumulators can live on the caller's stack frame.
+  void parallel_for_chunks(std::size_t n,
+                           const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace saloba::util

@@ -1,0 +1,23 @@
+// Wall-clock timer for host-side measurements (pipeline stages, CPU aligner).
+// Simulated kernel times come from gpusim's cost model, not from this.
+#pragma once
+
+#include <chrono>
+
+namespace saloba::util {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace saloba::util

@@ -1,0 +1,68 @@
+#include "align/antidiag_cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "align/sw_reference.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::align {
+namespace {
+
+TEST(Antidiag, MatchesReferenceOnKnownCases) {
+  ScoringScheme s;
+  auto ref = seq::encode_string("TTTTGATTACATTTT");
+  auto query = seq::encode_string("GATTACA");
+  EXPECT_EQ(smith_waterman_antidiag(ref, query, s), smith_waterman(ref, query, s));
+}
+
+TEST(Antidiag, EmptyInputs) {
+  ScoringScheme s;
+  std::vector<seq::BaseCode> empty;
+  EXPECT_EQ(smith_waterman_antidiag(empty, empty, s).score, 0);
+}
+
+// Wavefront vs row-major sweep: sizes chosen to cover square, wide, tall and
+// degenerate tables.
+struct SizeCase {
+  std::size_t n, m;
+};
+
+class AntidiagSweep : public ::testing::TestWithParam<SizeCase> {};
+
+TEST_P(AntidiagSweep, EquivalentToRowMajorReference) {
+  auto param = GetParam();
+  ScoringScheme s;
+  util::Xoshiro256 rng(61 + param.n * 131 + param.m);
+  for (int i = 0; i < 8; ++i) {
+    auto ref = saloba::testing::random_seq(rng, param.n);
+    auto query = param.m <= param.n
+                     ? saloba::testing::mutate(
+                           rng,
+                           std::vector<seq::BaseCode>(
+                               ref.begin(), ref.begin() + static_cast<std::ptrdiff_t>(param.m)),
+                           0.1)
+                     : saloba::testing::random_seq(rng, param.m);
+    EXPECT_EQ(smith_waterman_antidiag(ref, query, s), smith_waterman(ref, query, s))
+        << "n=" << param.n << " m=" << param.m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AntidiagSweep,
+                         ::testing::Values(SizeCase{1, 1}, SizeCase{1, 50}, SizeCase{50, 1},
+                                           SizeCase{8, 8}, SizeCase{16, 64}, SizeCase{64, 16},
+                                           SizeCase{63, 65}, SizeCase{100, 100},
+                                           SizeCase{200, 150}));
+
+TEST(Antidiag, AgreesOnNHeavyInputs) {
+  ScoringScheme s;
+  util::Xoshiro256 rng(62);
+  for (int i = 0; i < 10; ++i) {
+    auto ref = saloba::testing::random_seq_with_n(rng, 60, 0.2);
+    auto query = saloba::testing::random_seq_with_n(rng, 60, 0.2);
+    EXPECT_EQ(smith_waterman_antidiag(ref, query, s), smith_waterman(ref, query, s));
+  }
+}
+
+}  // namespace
+}  // namespace saloba::align

@@ -1,0 +1,60 @@
+#include "align/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "align/sw_reference.hpp"
+
+namespace saloba::align {
+namespace {
+
+TEST(Batch, MatchesPerPairReference) {
+  auto batch = saloba::testing::related_batch(71, 50, 40, 60);
+  ScoringScheme s;
+  auto results = align_batch(batch, s);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(results[i], smith_waterman(batch.refs[i], batch.queries[i], s));
+  }
+}
+
+TEST(Batch, TimingPopulated) {
+  auto batch = saloba::testing::related_batch(72, 20, 64, 64);
+  ScoringScheme s;
+  BatchTiming timing;
+  align_batch(batch, s, &timing);
+  EXPECT_GT(timing.wall_ms, 0.0);
+  EXPECT_EQ(timing.cells, batch.total_cells());
+  EXPECT_GT(timing.gcups, 0.0);
+}
+
+TEST(Batch, DeterministicAcrossRuns) {
+  auto batch = saloba::testing::imbalanced_batch(73, 64, 10, 200);
+  ScoringScheme s;
+  auto a = align_batch(batch, s);
+  auto b = align_batch(batch, s);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Batch, HandlesEmptySequencesInBatch) {
+  seq::PairBatch batch;
+  batch.add({}, seq::encode_string("ACGT"));
+  batch.add(seq::encode_string("ACGT"), {});
+  batch.add(seq::encode_string("ACGT"), seq::encode_string("ACGT"));
+  ScoringScheme s;
+  auto results = align_batch(batch, s);
+  EXPECT_EQ(results[0].score, 0);
+  EXPECT_EQ(results[1].score, 0);
+  EXPECT_EQ(results[2].score, 4);
+}
+
+TEST(Batch, TotalCellsComputed) {
+  seq::PairBatch batch;
+  batch.add(seq::encode_string("ACGT"), seq::encode_string("ACGTACGT"));
+  EXPECT_EQ(batch.total_cells(), 32u);
+  EXPECT_EQ(batch.max_query_len(), 4u);
+  EXPECT_EQ(batch.max_ref_len(), 8u);
+}
+
+}  // namespace
+}  // namespace saloba::align

@@ -1,0 +1,81 @@
+// Cross-implementation consistency: four independent CPU implementations
+// (row-major scalar, anti-diagonal wavefront, striped/Farrar, banded at full
+// width) must agree on score for arbitrary inputs and scoring schemes.
+// Any single-implementation bug breaks at least one pairing.
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "align/antidiag_cpu.hpp"
+#include "align/sw_banded.hpp"
+#include "align/sw_reference.hpp"
+#include "align/sw_striped.hpp"
+
+namespace saloba::align {
+namespace {
+
+struct CrossCase {
+  std::uint64_t seed;
+  std::size_t max_len;
+  double n_prob;
+  ScoringScheme scheme;
+};
+
+class CrossImpl : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(CrossImpl, AllFourAgree) {
+  auto param = GetParam();
+  util::Xoshiro256 rng(param.seed);
+  for (int trial = 0; trial < 12; ++trial) {
+    std::size_t n = 1 + rng.below(param.max_len);
+    std::size_t m = 1 + rng.below(param.max_len);
+    auto ref = saloba::testing::random_seq_with_n(rng, n, param.n_prob);
+    auto query = rng.bernoulli(0.5)
+                     ? saloba::testing::random_seq_with_n(rng, m, param.n_prob)
+                     : [&] {
+                         auto q = ref;
+                         q.resize(std::min(m, q.size()));
+                         return saloba::testing::mutate(rng, q, 0.15);
+                       }();
+    if (query.empty()) continue;
+
+    auto scalar = smith_waterman(ref, query, param.scheme);
+    auto wavefront = smith_waterman_antidiag(ref, query, param.scheme);
+    auto striped = smith_waterman_striped(ref, query, param.scheme);
+    auto banded =
+        smith_waterman_banded(ref, query, param.scheme, std::max(ref.size(), query.size()));
+
+    EXPECT_EQ(scalar, wavefront) << "n=" << n << " m=" << m;
+    EXPECT_EQ(scalar.score, striped) << "n=" << n << " m=" << m;
+    EXPECT_EQ(scalar, banded.result) << "n=" << n << " m=" << m;
+  }
+}
+
+std::vector<CrossCase> cross_cases() {
+  ScoringScheme bwa;                       // 1/4/6/1
+  ScoringScheme longread = long_read_scheme();  // 2/5/4/2
+  ScoringScheme flat;
+  flat.match = 1;
+  flat.mismatch = 1;
+  flat.gap_open = 1;
+  flat.gap_extend = 1;
+  ScoringScheme steep;
+  steep.match = 5;
+  steep.mismatch = 4;
+  steep.gap_open = 10;
+  steep.gap_extend = 1;
+  std::vector<CrossCase> cases;
+  std::uint64_t seed = 7000;
+  for (const auto& scheme : {bwa, longread, flat, steep}) {
+    for (std::size_t len : {12u, 80u, 300u}) {
+      for (double n_prob : {0.0, 0.1}) {
+        cases.push_back(CrossCase{seed++, len, n_prob, scheme});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(SchemesAndShapes, CrossImpl, ::testing::ValuesIn(cross_cases()));
+
+}  // namespace
+}  // namespace saloba::align

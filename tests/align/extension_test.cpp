@@ -1,0 +1,131 @@
+#include "align/extension.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "align/sw_reference.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::align {
+namespace {
+
+using seq::encode_string;
+
+TEST(Extension, PerfectExtensionConsumesEverything) {
+  ScoringScheme s;
+  auto seq_ = encode_string("GATTACAGATTACA");
+  ExtensionParams p;
+  p.h0 = 10;
+  auto r = extend(seq_, seq_, s, p);
+  EXPECT_EQ(r.score, 10 + 14 * s.match);
+  EXPECT_EQ(r.query_used, 14);
+  EXPECT_EQ(r.ref_used, 14);
+  EXPECT_TRUE(r.reached_query_end);
+  EXPECT_FALSE(r.zdropped);
+}
+
+TEST(Extension, StoppingAtSeedIsAlwaysAllowed) {
+  ScoringScheme s;
+  auto ref = encode_string("AAAA");
+  auto query = encode_string("CCCC");  // pure mismatches
+  ExtensionParams p;
+  p.h0 = 5;
+  auto r = extend(ref, query, s, p);
+  EXPECT_EQ(r.score, 5);
+  EXPECT_EQ(r.query_used, 0);
+}
+
+TEST(Extension, EmptyInputsKeepSeedScore) {
+  ScoringScheme s;
+  ExtensionParams p;
+  p.h0 = 3;
+  auto r = extend({}, encode_string("ACGT"), s, p);
+  EXPECT_EQ(r.score, 3);
+  r = extend(encode_string("ACGT"), {}, s, p);
+  EXPECT_EQ(r.score, 3);
+  EXPECT_TRUE(r.reached_query_end);
+}
+
+TEST(Extension, ZdropTerminatesHopelessExtension) {
+  ScoringScheme s;
+  // Good prefix then garbage: zdrop should cut before scanning all rows.
+  std::string good(50, 'A');
+  util::Xoshiro256 rng(31);
+  auto ref = encode_string(good + std::string(2000, 'C'));
+  auto query = encode_string(good + std::string(2000, 'G'));
+  ExtensionParams p;
+  p.h0 = 0;
+  p.zdrop = 50;
+  auto r = extend(ref, query, s, p);
+  EXPECT_TRUE(r.zdropped);
+  EXPECT_EQ(r.score, 50 * s.match);
+  EXPECT_LT(r.cells_computed, ref.size() * query.size() / 4);
+}
+
+TEST(Extension, DisabledZdropScansEverything) {
+  ScoringScheme s;
+  auto ref = encode_string(std::string(100, 'A') + std::string(100, 'C'));
+  auto query = encode_string(std::string(100, 'A') + std::string(100, 'G'));
+  ExtensionParams p;
+  p.zdrop = 0;
+  auto r = extend(ref, query, s, p);
+  EXPECT_FALSE(r.zdropped);
+  EXPECT_EQ(r.cells_computed, ref.size() * query.size());
+}
+
+TEST(Extension, GapBridgingMatchesAffineCosts) {
+  ScoringScheme s;
+  const std::string left = "ACGTTGCAACGTTGCAACGTTGCA";
+  const std::string right = "GGATCCTTGGATCCTTGGATCCTT";
+  auto ref = encode_string(left + "CC" + right);
+  auto query = encode_string(left + right);
+  ExtensionParams p;
+  auto r = extend(ref, query, s, p);
+  EXPECT_EQ(r.score, 48 * s.match - (s.alpha() + s.beta()));
+  EXPECT_TRUE(r.reached_query_end);
+}
+
+TEST(Extension, ToQueryEndTracksGlocalScore) {
+  ScoringScheme s;
+  // Query end reachable only through a trailing mismatch.
+  auto ref = encode_string("ACGTACGTA");
+  auto query = encode_string("ACGTACGTC");
+  ExtensionParams p;
+  auto r = extend(ref, query, s, p);
+  EXPECT_EQ(r.score, 8 * s.match);  // best local stop before the mismatch
+  EXPECT_TRUE(r.reached_query_end);
+  EXPECT_EQ(r.to_query_end, 8 * s.match - s.mismatch);
+}
+
+TEST(Extension, AnchoredScoreNeverExceedsSeedPlusLocal) {
+  // Sanity bound: extension score <= h0 + unanchored local SW score.
+  util::Xoshiro256 rng(32);
+  ScoringScheme s;
+  for (int i = 0; i < 20; ++i) {
+    auto ref = saloba::testing::random_seq(rng, 60 + rng.below(100));
+    auto query = saloba::testing::random_seq(rng, 60 + rng.below(100));
+    ExtensionParams p;
+    p.h0 = static_cast<Score>(rng.below(30));
+    p.zdrop = 0;
+    auto r = extend(ref, query, s, p);
+    auto local = smith_waterman(ref, query, s);
+    EXPECT_LE(r.score, p.h0 + local.score);
+    EXPECT_GE(r.score, p.h0);
+  }
+}
+
+TEST(Extension, MatchesAnchoredPrefixAlignment) {
+  // For an exact prefix of the reference, extension must choose it fully.
+  util::Xoshiro256 rng(33);
+  ScoringScheme s;
+  auto ref = saloba::testing::random_seq(rng, 120);
+  std::vector<seq::BaseCode> query(ref.begin(), ref.begin() + 80);
+  ExtensionParams p;
+  auto r = extend(ref, query, s, p);
+  EXPECT_EQ(r.score, 80 * s.match);
+  EXPECT_EQ(r.query_used, 80);
+  EXPECT_EQ(r.ref_used, 80);
+}
+
+}  // namespace
+}  // namespace saloba::align

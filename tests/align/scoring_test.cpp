@@ -1,0 +1,48 @@
+#include "align/scoring.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saloba::align {
+namespace {
+
+TEST(Scoring, DefaultsMatchBwaMemConvention) {
+  ScoringScheme s = default_scheme();
+  EXPECT_EQ(s.match, 1);
+  EXPECT_EQ(s.mismatch, 4);
+  EXPECT_EQ(s.gap_open, 6);
+  EXPECT_EQ(s.gap_extend, 1);
+  EXPECT_EQ(s.alpha(), 7);  // paper's alpha = open + first extension
+  EXPECT_EQ(s.beta(), 1);
+}
+
+TEST(Scoring, SubstitutionMatchMismatch) {
+  ScoringScheme s;
+  EXPECT_EQ(s.substitution(seq::kBaseA, seq::kBaseA), s.match);
+  EXPECT_EQ(s.substitution(seq::kBaseA, seq::kBaseC), -s.mismatch);
+}
+
+TEST(Scoring, NNeverMatches) {
+  ScoringScheme s;
+  EXPECT_EQ(s.substitution(seq::kBaseN, seq::kBaseN), -s.mismatch);
+  EXPECT_EQ(s.substitution(seq::kBaseN, seq::kBaseA), -s.mismatch);
+  EXPECT_EQ(s.substitution(seq::kBaseG, seq::kBaseN), -s.mismatch);
+}
+
+TEST(Scoring, ValidityChecks) {
+  ScoringScheme s;
+  EXPECT_TRUE(s.valid());
+  s.match = 0;
+  EXPECT_FALSE(s.valid());
+  s = ScoringScheme{};
+  s.gap_extend = 0;
+  EXPECT_FALSE(s.valid());
+}
+
+TEST(Scoring, LongReadSchemeIsValidAndGapTolerant) {
+  ScoringScheme s = long_read_scheme();
+  EXPECT_TRUE(s.valid());
+  EXPECT_LT(s.gap_open, default_scheme().gap_open);
+}
+
+}  // namespace
+}  // namespace saloba::align

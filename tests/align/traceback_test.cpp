@@ -1,0 +1,110 @@
+#include "align/traceback.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "align/sw_reference.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::align {
+namespace {
+
+using seq::encode_string;
+
+TEST(Traceback, PerfectMatchIsAllM) {
+  ScoringScheme s;
+  auto codes = encode_string("GATTACA");
+  auto t = smith_waterman_traceback(codes, codes, s);
+  EXPECT_EQ(t.cigar, "7M");
+  EXPECT_EQ(t.ref_start, 0);
+  EXPECT_EQ(t.query_start, 0);
+  EXPECT_EQ(t.end.score, 7);
+}
+
+TEST(Traceback, DeletionShowsAsD) {
+  ScoringScheme s;
+  const std::string left = "ACGTTGCAACGTTGCAACGTTGCA";
+  const std::string right = "GGATCCTTGGATCCTTGGATCCTT";
+  auto ref = encode_string(left + "CCC" + right);
+  auto query = encode_string(left + right);  // CCC deleted from query
+  auto t = smith_waterman_traceback(ref, query, s);
+  EXPECT_NE(t.cigar.find("3D"), std::string::npos);
+  EXPECT_EQ(t.cigar, "24M3D24M");
+}
+
+TEST(Traceback, InsertionShowsAsI) {
+  ScoringScheme s;
+  const std::string left = "ACGTTGCAACGTTGCAACGTTGCA";
+  const std::string right = "GGATCCTTGGATCCTTGGATCCTT";
+  auto ref = encode_string(left + right);
+  auto query = encode_string(left + "TTCC" + right);  // TTCC inserted
+  auto t = smith_waterman_traceback(ref, query, s);
+  EXPECT_NE(t.cigar.find("4I"), std::string::npos);
+  EXPECT_EQ(t.cigar, "24M4I24M");
+}
+
+TEST(Traceback, ScoreMatchesReference) {
+  util::Xoshiro256 rng(51);
+  ScoringScheme s;
+  for (int i = 0; i < 30; ++i) {
+    auto ref = saloba::testing::random_seq(rng, 20 + rng.below(80));
+    auto query = saloba::testing::mutate(rng, ref, 0.15);
+    auto t = smith_waterman_traceback(ref, query, s);
+    auto r = smith_waterman(ref, query, s);
+    EXPECT_EQ(t.end, r);
+  }
+}
+
+TEST(Traceback, CigarRescoresToAlignmentScore) {
+  util::Xoshiro256 rng(52);
+  ScoringScheme s;
+  for (int i = 0; i < 30; ++i) {
+    auto ref = saloba::testing::random_seq(rng, 30 + rng.below(60));
+    auto query = saloba::testing::mutate(rng, ref, 0.2);
+    auto t = smith_waterman_traceback(ref, query, s);
+    if (t.end.score == 0) continue;
+    EXPECT_EQ(rescore_cigar(t, ref, query, s), t.end.score);
+  }
+}
+
+TEST(Traceback, CigarConsistentWithEndpoints) {
+  util::Xoshiro256 rng(53);
+  ScoringScheme s;
+  for (int i = 0; i < 30; ++i) {
+    auto ref = saloba::testing::random_seq(rng, 25 + rng.below(75));
+    auto query = saloba::testing::mutate(rng, ref, 0.1);
+    auto t = smith_waterman_traceback(ref, query, s);
+    EXPECT_TRUE(cigar_consistent(t, ref.size(), query.size()));
+  }
+}
+
+TEST(Traceback, ZeroScoreGivesEmptyCigar) {
+  ScoringScheme s;
+  auto t = smith_waterman_traceback(encode_string("AAAA"), encode_string("CCCC"), s);
+  EXPECT_EQ(t.end.score, 0);
+  EXPECT_TRUE(t.cigar.empty());
+}
+
+TEST(ExpandCigar, ExpandsRuns) {
+  EXPECT_EQ(expand_cigar("3M1I2D"), "MMMIDD");
+  EXPECT_EQ(expand_cigar("1M"), "M");
+}
+
+TEST(ExpandCigar, RejectsMalformed) {
+  EXPECT_THROW(expand_cigar("M"), std::invalid_argument);
+  EXPECT_THROW(expand_cigar("3"), std::invalid_argument);
+  EXPECT_THROW(expand_cigar("2X"), std::invalid_argument);
+}
+
+TEST(Traceback, LocalAlignmentSkipsNoisyPrefix) {
+  ScoringScheme s;
+  auto ref = encode_string("TTTTTTGATTACA");
+  auto query = encode_string("CCCCCCGATTACA");
+  auto t = smith_waterman_traceback(ref, query, s);
+  EXPECT_EQ(t.cigar, "7M");
+  EXPECT_EQ(t.ref_start, 6);
+  EXPECT_EQ(t.query_start, 6);
+}
+
+}  // namespace
+}  // namespace saloba::align

@@ -1,0 +1,44 @@
+#include "core/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saloba::core {
+namespace {
+
+DatasetStats stats_with(double mean_q, double cv_q) {
+  DatasetStats s;
+  s.mean_query_len = mean_q;
+  s.cv_query_len = cv_q;
+  return s;
+}
+
+TEST(Autotune, ShortBalancedWorkloadsGetSmallSubwarps) {
+  EXPECT_EQ(recommend_subwarp_size(stats_with(120, 0.4)), 8);
+  EXPECT_EQ(recommend_subwarp_size(stats_with(250, 0.9)), 8);
+}
+
+TEST(Autotune, ShortButWildlyImbalancedGetsMid) {
+  EXPECT_EQ(recommend_subwarp_size(stats_with(150, 2.0)), 16);
+}
+
+TEST(Autotune, LongReadsGetWiderSubwarps) {
+  EXPECT_EQ(recommend_subwarp_size(stats_with(800, 0.6)), 16);
+  EXPECT_EQ(recommend_subwarp_size(stats_with(2000, 1.3)), 32);
+}
+
+TEST(Autotune, ConfigAlwaysLazySpills) {
+  auto cfg = recommend_config(stats_with(700, 1.2));
+  EXPECT_TRUE(cfg.lazy_spill);
+  EXPECT_EQ(cfg.subwarp_size, 32);
+}
+
+TEST(Autotune, RealDatasetStatsLandSensibly) {
+  // Mirrors the regimes of datasets A' and B' (fig8 harness output).
+  auto a = stats_with(90, 1.2);   // short reads, moderate imbalance
+  auto b = stats_with(734, 1.19); // long reads, heavy imbalance
+  EXPECT_LE(recommend_subwarp_size(a), 16);
+  EXPECT_GE(recommend_subwarp_size(b), 16);
+}
+
+}  // namespace
+}  // namespace saloba::core

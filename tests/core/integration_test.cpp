@@ -1,0 +1,105 @@
+// End-to-end integration: genome -> simulated reads -> seed-and-extend
+// pipeline -> extension jobs -> every kernel agrees with the CPU oracle,
+// and the headline performance shapes hold on the simulated devices.
+#include <gtest/gtest.h>
+
+#include "align/batch.hpp"
+#include "core/aligner.hpp"
+#include "core/workload.hpp"
+#include "kernels/kernel_iface.hpp"
+
+namespace saloba::core {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    genome_ = new std::vector<seq::BaseCode>(make_genome(1 << 20));
+    dataset_a_ = new DatasetBatch(make_dataset_a(*genome_, 150));
+  }
+  static void TearDownTestSuite() {
+    delete genome_;
+    delete dataset_a_;
+    genome_ = nullptr;
+    dataset_a_ = nullptr;
+  }
+  static std::vector<seq::BaseCode>* genome_;
+  static DatasetBatch* dataset_a_;
+};
+
+std::vector<seq::BaseCode>* IntegrationFixture::genome_ = nullptr;
+DatasetBatch* IntegrationFixture::dataset_a_ = nullptr;
+
+TEST_F(IntegrationFixture, PipelineJobsAlignIdenticallyOnAllKernels) {
+  // Subsample for speed; jobs come straight from the pipeline.
+  seq::PairBatch sample;
+  for (std::size_t i = 0; i < dataset_a_->batch.size() && sample.size() < 60; i += 3) {
+    sample.add(dataset_a_->batch.queries[i], dataset_a_->batch.refs[i]);
+  }
+  ASSERT_GT(sample.size(), 10u);
+
+  align::ScoringScheme s;
+  auto expected = align::align_batch(sample, s);
+  for (const char* name : {"gasal2", "cushaw2-gpu", "nvbio", "adept", "sw#", "saloba",
+                           "saloba-sw16", "saloba-intra"}) {
+    auto kernel = kernels::make_kernel(name);
+    gpusim::Device dev(gpusim::DeviceSpec::gtx1650());
+    auto result = kernel->run(dev, sample, s);
+    // 2-bit kernels may differ on N-containing jobs; dataset jobs can
+    // contain N only if the genome has N runs — ours has none by default,
+    // but cushaw2 is 2-bit: verify exactness anyway since inputs are N-free.
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(result.results[i], expected[i]) << name << " job " << i;
+    }
+  }
+}
+
+TEST_F(IntegrationFixture, SalobaBeatsGasal2At512OnBothDevices) {
+  // The paper's headline (Fig. 6): SALoBa wins at >= 128 bp.
+  auto batch = make_fig6_batch(*genome_, 512, 96);
+  align::ScoringScheme s;
+  for (const char* device : {"gtx1650", "rtx3090"}) {
+    gpusim::Device d1(core::Aligner::device_by_name(device));
+    auto gasal = kernels::make_kernel("gasal2")->run(d1, batch, s);
+    gpusim::Device d2(core::Aligner::device_by_name(device));
+    auto saloba = kernels::make_kernel("saloba")->run(d2, batch, s);
+    EXPECT_LT(saloba.time.total_ms, gasal.time.total_ms) << device;
+  }
+}
+
+TEST_F(IntegrationFixture, SalobaWinsBiggerOnImbalancedDataset) {
+  // Fig. 8: the speedup on real-world (imbalanced) workloads exceeds the
+  // equal-length speedup at a comparable mean length.
+  align::ScoringScheme s;
+  const auto& ds = dataset_a_->batch;
+  gpusim::Device d1(gpusim::DeviceSpec::gtx1650());
+  auto gasal = kernels::make_kernel("gasal2")->run(d1, ds, s);
+  gpusim::Device d2(gpusim::DeviceSpec::gtx1650());
+  auto saloba = kernels::make_kernel("saloba-sw16")->run(d2, ds, s);
+  EXPECT_LT(saloba.time.total_ms, gasal.time.total_ms);
+}
+
+TEST_F(IntegrationFixture, SimulatedTimesArePositiveAndFinite) {
+  auto batch = make_fig6_batch(*genome_, 128, 64);
+  align::ScoringScheme s;
+  for (const char* name : {"gasal2", "saloba", "adept"}) {
+    gpusim::Device dev(gpusim::DeviceSpec::rtx3090());
+    auto r = kernels::make_kernel(name)->run(dev, batch, s);
+    EXPECT_GT(r.time.total_ms, 0.0) << name;
+    EXPECT_TRUE(std::isfinite(r.time.total_ms)) << name;
+  }
+}
+
+TEST_F(IntegrationFixture, AlignerFacadeRunsDatasetA) {
+  AlignerOptions opts;
+  opts.backend = Backend::kSimulated;
+  opts.kernel = "saloba";
+  opts.device = "rtx3090";
+  Aligner aligner(opts);
+  auto out = aligner.align(dataset_a_->batch);
+  EXPECT_EQ(out.results.size(), dataset_a_->batch.size());
+  EXPECT_GT(out.gcups, 0.0);
+}
+
+}  // namespace
+}  // namespace saloba::core

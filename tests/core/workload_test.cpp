@@ -1,0 +1,70 @@
+#include "core/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saloba::core {
+namespace {
+
+TEST(Workload, GenomeDeterministic) {
+  auto a = make_genome(100000, 5);
+  auto b = make_genome(100000, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 100000u);
+}
+
+TEST(Workload, Fig6BatchShape) {
+  auto genome = make_genome(1 << 20);
+  auto batch = make_fig6_batch(genome, 512, 20);
+  ASSERT_EQ(batch.size(), 20u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch.queries[i].size(), 512u);
+    EXPECT_EQ(batch.refs[i].size(), 512u);
+  }
+}
+
+TEST(Workload, DatasetAShortReadShapes) {
+  auto genome = make_genome(1 << 20);
+  auto ds = make_dataset_a(genome, 150);
+  EXPECT_GT(ds.batch.size(), 50u);
+  EXPECT_EQ(ds.stats.jobs, ds.batch.size());
+  // 250 bp reads: query sides bounded by read length (plus small indel
+  // drift); reference windows up to ~2x.
+  EXPECT_LE(ds.stats.max_query_len, 300u);
+  EXPECT_LE(ds.stats.max_ref_len, 600u);
+  EXPECT_GT(ds.stats.mean_query_len, 10.0);
+  EXPECT_GT(ds.stats.mean_ref_len, ds.stats.mean_query_len);
+}
+
+TEST(Workload, DatasetBLongReadShapes) {
+  auto genome = make_genome(1 << 20);
+  auto ds = make_dataset_b(genome, 60);
+  EXPECT_GT(ds.batch.size(), 30u);
+  // Long noisy reads: much longer jobs with a heavy spread (Fig. 2 (c)/(d)).
+  EXPECT_GT(ds.stats.max_query_len, 500u);
+  EXPECT_GT(ds.stats.cv_query_len, 0.5);
+}
+
+TEST(Workload, DatasetBMoreImbalancedThanA) {
+  // Warp divergence scales with the *absolute* spread of work, not the
+  // relative CV: compare the standard deviation of query lengths.
+  auto genome = make_genome(1 << 20);
+  auto a = make_dataset_a(genome, 120);
+  auto b = make_dataset_b(genome, 60);
+  double a_spread = a.stats.cv_query_len * a.stats.mean_query_len;
+  double b_spread = b.stats.cv_query_len * b.stats.mean_query_len;
+  EXPECT_GT(b_spread, a_spread * 3);
+}
+
+TEST(Workload, DatasetsDeterministic) {
+  auto genome = make_genome(1 << 19);
+  auto x = make_dataset_a(genome, 40, 9);
+  auto y = make_dataset_a(genome, 40, 9);
+  ASSERT_EQ(x.batch.size(), y.batch.size());
+  for (std::size_t i = 0; i < x.batch.size(); ++i) {
+    EXPECT_EQ(x.batch.queries[i], y.batch.queries[i]);
+    EXPECT_EQ(x.batch.refs[i], y.batch.refs[i]);
+  }
+}
+
+}  // namespace
+}  // namespace saloba::core

@@ -1,0 +1,103 @@
+#include "gpusim/coalescer.hpp"
+
+#include <array>
+
+#include <gtest/gtest.h>
+
+namespace saloba::gpusim {
+namespace {
+
+std::array<MemAccess, 32> lanes_consecutive(std::uint64_t base, std::uint32_t size) {
+  std::array<MemAccess, 32> acc{};
+  for (int l = 0; l < 32; ++l) {
+    acc[static_cast<std::size_t>(l)] = MemAccess{base + static_cast<std::uint64_t>(l) * size, size};
+  }
+  return acc;
+}
+
+TEST(Coalescer, ConsecutiveFourByteLanesAt32B) {
+  auto acc = lanes_consecutive(0x1000, 4);
+  auto r = coalesce(acc, 32);
+  EXPECT_EQ(r.transactions, 4u);  // 128 B of data in 32 B sectors
+  EXPECT_EQ(r.bytes_moved, 128u);
+  EXPECT_EQ(r.bytes_useful, 128u);
+}
+
+TEST(Coalescer, ConsecutiveFourByteLanesAt128B) {
+  auto acc = lanes_consecutive(0x1000, 4);
+  auto r = coalesce(acc, 128);
+  EXPECT_EQ(r.transactions, 1u);  // pre-Volta: one full line
+  EXPECT_EQ(r.bytes_moved, 128u);
+}
+
+TEST(Coalescer, BroadcastSameAddressIsOneTransaction) {
+  std::array<MemAccess, 32> acc{};
+  for (auto& a : acc) a = MemAccess{0x2000, 4};
+  auto r = coalesce(acc, 32);
+  EXPECT_EQ(r.transactions, 1u);
+  EXPECT_EQ(r.bytes_useful, 128u);  // 32 lanes x 4 B requested
+  EXPECT_EQ(r.bytes_moved, 32u);
+}
+
+TEST(Coalescer, ScatteredLanesPayFullSectorEach) {
+  // The paper's Table I pathology: each 4 B access costs a whole sector.
+  std::array<MemAccess, 32> acc{};
+  for (int l = 0; l < 32; ++l) {
+    acc[static_cast<std::size_t>(l)] =
+        MemAccess{0x4000 + static_cast<std::uint64_t>(l) * 4096, 4};
+  }
+  auto r32 = coalesce(acc, 32);
+  EXPECT_EQ(r32.transactions, 32u);
+  EXPECT_EQ(r32.bytes_moved, 32u * 32u);   // 8x waste at 32 B granularity
+  EXPECT_EQ(r32.bytes_useful, 128u);
+  auto r128 = coalesce(acc, 128);
+  EXPECT_EQ(r128.bytes_moved, 32u * 128u);  // 32x waste pre-Volta
+}
+
+TEST(Coalescer, StridedBy32BytesTouchesEverySector) {
+  auto acc = lanes_consecutive(0x8000, 4);
+  for (int l = 0; l < 32; ++l) acc[static_cast<std::size_t>(l)].addr = 0x8000 + l * 32ull;
+  auto r = coalesce(acc, 32);
+  EXPECT_EQ(r.transactions, 32u);
+}
+
+TEST(Coalescer, AccessSpanningSectorBoundaryCostsTwo) {
+  std::array<MemAccess, 32> acc{};
+  acc[0] = MemAccess{0x101E, 4};  // straddles the 0x1020 boundary
+  auto r = coalesce(acc, 32);
+  EXPECT_EQ(r.transactions, 2u);
+}
+
+TEST(Coalescer, InactiveLanesIgnored) {
+  std::array<MemAccess, 32> acc{};  // all size 0
+  acc[7] = MemAccess{0x3000, 4};
+  auto r = coalesce(acc, 32);
+  EXPECT_EQ(r.transactions, 1u);
+  EXPECT_EQ(r.bytes_useful, 4u);
+}
+
+TEST(Coalescer, EmptyAccessSetIsFree) {
+  std::array<MemAccess, 32> acc{};
+  auto r = coalesce(acc, 32);
+  EXPECT_EQ(r.transactions, 0u);
+  EXPECT_EQ(r.bytes_moved, 0u);
+}
+
+TEST(Coalescer, WideAccessesCountAllSectors) {
+  std::array<MemAccess, 32> acc{};
+  acc[0] = MemAccess{0x1000, 256};
+  auto r = coalesce(acc, 32);
+  EXPECT_EQ(r.transactions, 8u);
+  EXPECT_EQ(r.bytes_useful, 256u);
+}
+
+TEST(Coalescer, UnalignedBaseStillCoalesces) {
+  // 32 lanes x 4 B starting at an unaligned base: 129 bytes span -> 5
+  // sectors at 32 B.
+  auto acc = lanes_consecutive(0x1004, 4);
+  auto r = coalesce(acc, 32);
+  EXPECT_EQ(r.transactions, 5u);
+}
+
+}  // namespace
+}  // namespace saloba::gpusim

@@ -1,0 +1,136 @@
+#include "gpusim/device.hpp"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+namespace saloba::gpusim {
+namespace {
+
+TEST(Device, AllocTracksUsage) {
+  Device dev(DeviceSpec::gtx1650());
+  DeviceMem a = dev.alloc(1 << 20);
+  EXPECT_EQ(dev.bytes_in_use(), 1u << 20);
+  DeviceMem b = dev.alloc(1 << 20);
+  EXPECT_NE(a.base, b.base);
+  dev.free(a);
+  dev.free(b);
+  EXPECT_EQ(dev.bytes_in_use(), 0u);
+}
+
+TEST(Device, OomThrowsWithDetails) {
+  Device dev(DeviceSpec::gtx1650());  // 4 GiB
+  try {
+    dev.alloc(5ULL << 30);
+    FAIL() << "expected DeviceOomError";
+  } catch (const DeviceOomError& e) {
+    EXPECT_EQ(e.requested, 5ULL << 30);
+    EXPECT_EQ(e.capacity, 4ULL << 30);
+  }
+}
+
+TEST(Device, OomConsidersExistingAllocations) {
+  Device dev(DeviceSpec::gtx1650());
+  DeviceMem a = dev.alloc(3ULL << 30);
+  EXPECT_THROW(dev.alloc(2ULL << 30), DeviceOomError);
+  dev.free(a);
+  DeviceMem b = dev.alloc(2ULL << 30);
+  dev.free(b);
+}
+
+TEST(Device, LaunchRunsEveryBlockOnce) {
+  Device dev(DeviceSpec::gtx1650());
+  LaunchConfig config;
+  config.blocks = 57;
+  config.threads_per_block = 64;
+  std::atomic<int> count{0};
+  std::vector<std::atomic<int>> per_block(57);
+  auto result = dev.launch(config, [&](BlockContext& blk) {
+    count.fetch_add(1);
+    per_block[blk.block_id()].fetch_add(1);
+    blk.warp(0).issue(10, 32);
+  });
+  EXPECT_EQ(count.load(), 57);
+  for (auto& c : per_block) EXPECT_EQ(c.load(), 1);
+  EXPECT_EQ(result.stats.blocks, 57u);
+  EXPECT_EQ(result.stats.warps, 57u * 2);
+  EXPECT_EQ(result.stats.totals.instructions, 57u * 10);
+}
+
+TEST(Device, LaunchTimePositiveAndComposed) {
+  Device dev(DeviceSpec::rtx3090());
+  LaunchConfig config;
+  config.blocks = 100;
+  config.threads_per_block = 128;
+  auto result = dev.launch(config, [](BlockContext& blk) {
+    for (int w = 0; w < blk.warps_per_block(); ++w) blk.warp(w).issue(1000, 32);
+  });
+  EXPECT_GT(result.time.total_ms, 0.0);
+  EXPECT_GT(result.time.compute_ms, 0.0);
+  EXPECT_GE(result.time.total_ms, result.time.compute_ms);
+}
+
+TEST(Device, MoreWorkTakesLonger) {
+  Device dev(DeviceSpec::gtx1650());
+  auto run = [&](std::uint64_t instr) {
+    LaunchConfig config;
+    config.blocks = 28;
+    config.threads_per_block = 128;
+    return dev
+        .launch(config,
+                [&](BlockContext& blk) {
+                  for (int w = 0; w < blk.warps_per_block(); ++w) blk.warp(w).issue(instr, 32);
+                })
+        .time.total_ms;
+  };
+  EXPECT_GT(run(100000), run(1000));
+}
+
+TEST(Device, SyncthreadsChargesEveryWarp) {
+  Device dev(DeviceSpec::gtx1650());
+  LaunchConfig config;
+  config.blocks = 1;
+  config.threads_per_block = 128;
+  auto result = dev.launch(config, [](BlockContext& blk) { blk.syncthreads(); });
+  EXPECT_EQ(result.stats.totals.syncs, 4u);
+}
+
+TEST(Device, StatsDeterministicAcrossRuns) {
+  Device dev(DeviceSpec::gtx1650());
+  LaunchConfig config;
+  config.blocks = 64;
+  config.threads_per_block = 64;
+  auto body = [](BlockContext& blk) {
+    for (int w = 0; w < blk.warps_per_block(); ++w) {
+      blk.warp(w).issue(100 + blk.block_id(), 32);
+    }
+  };
+  auto a = dev.launch(config, body);
+  auto b = dev.launch(config, body);
+  EXPECT_EQ(a.stats.totals.instructions, b.stats.totals.instructions);
+  EXPECT_DOUBLE_EQ(a.time.total_ms, b.time.total_ms);
+}
+
+TEST(Device, RunAccumulatorSums) {
+  Device dev(DeviceSpec::gtx1650());
+  LaunchConfig config;
+  config.blocks = 4;
+  config.threads_per_block = 32;
+  RunAccumulator acc;
+  for (int i = 0; i < 3; ++i) {
+    acc.add(dev.launch(config, [](BlockContext& blk) { blk.warp(0).issue(10, 32); }));
+  }
+  EXPECT_EQ(acc.launches, 3u);
+  EXPECT_EQ(acc.stats.totals.instructions, 120u);
+  EXPECT_GT(acc.time.total_ms, 0.0);
+}
+
+TEST(DeviceDeath, RejectsZeroBlocks) {
+  Device dev(DeviceSpec::gtx1650());
+  LaunchConfig config;
+  config.blocks = 0;
+  EXPECT_DEATH(dev.launch(config, [](BlockContext&) {}), "zero blocks");
+}
+
+}  // namespace
+}  // namespace saloba::gpusim

@@ -1,0 +1,84 @@
+#include "gpusim/multi_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+
+namespace saloba::gpusim {
+namespace {
+
+// A fake shard runner whose "time" is the shard's total DP area.
+double area_runner(const seq::PairBatch& shard) {
+  return static_cast<double>(shard.total_cells());
+}
+
+TEST(MultiDevice, SingleDeviceGetsEverything) {
+  auto batch = saloba::testing::imbalanced_batch(401, 30, 10, 200);
+  auto r = dispatch_shards(batch, 1, SplitPolicy::kStatic, area_runner);
+  ASSERT_EQ(r.shard_ms.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.makespan_ms, static_cast<double>(batch.total_cells()));
+  EXPECT_DOUBLE_EQ(r.imbalance, 1.0);
+}
+
+TEST(MultiDevice, ShardsPartitionTheBatch) {
+  auto batch = saloba::testing::imbalanced_batch(402, 41, 10, 100);
+  double total = 0;
+  auto r = dispatch_shards(batch, 4, SplitPolicy::kStatic,
+                           [&](const seq::PairBatch& shard) {
+                             total += static_cast<double>(shard.total_cells());
+                             return area_runner(shard);
+                           });
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(batch.total_cells()));
+  EXPECT_EQ(r.shard_ms.size(), 4u);
+}
+
+TEST(MultiDevice, SortedOrderIsByAreaDescending) {
+  auto batch = saloba::testing::imbalanced_batch(403, 25, 5, 300);
+  auto order = shard_order(batch, SplitPolicy::kSorted);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(batch.queries[order[i - 1]].size() * batch.refs[order[i - 1]].size(),
+              batch.queries[order[i]].size() * batch.refs[order[i]].size());
+  }
+}
+
+TEST(MultiDevice, SortedSplitBalancesBetterThanStatic) {
+  // Heavy-tailed workload: static round-robin can stack big jobs on one
+  // shard; sorted round-robin deals them out evenly.
+  util::Xoshiro256 rng(404);
+  seq::PairBatch batch;
+  for (int i = 0; i < 64; ++i) {
+    std::size_t len = rng.bernoulli(0.15) ? 2000 : 50;
+    batch.add(saloba::testing::random_seq(rng, len), saloba::testing::random_seq(rng, len));
+  }
+  auto statik = dispatch_shards(batch, 4, SplitPolicy::kStatic, area_runner);
+  auto sorted = dispatch_shards(batch, 4, SplitPolicy::kSorted, area_runner);
+  EXPECT_LE(sorted.makespan_ms, statik.makespan_ms);
+  EXPECT_LE(sorted.imbalance, statik.imbalance + 1e-9);
+}
+
+TEST(MultiDevice, MoreDevicesNeverIncreaseMakespan) {
+  auto batch = saloba::testing::imbalanced_batch(405, 48, 20, 400);
+  double prev = dispatch_shards(batch, 1, SplitPolicy::kSorted, area_runner).makespan_ms;
+  for (int k : {2, 3, 4}) {
+    double cur = dispatch_shards(batch, k, SplitPolicy::kSorted, area_runner).makespan_ms;
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(MultiDevice, MoreDevicesThanJobs) {
+  auto batch = saloba::testing::imbalanced_batch(406, 3, 10, 50);
+  auto r = dispatch_shards(batch, 8, SplitPolicy::kStatic, area_runner);
+  EXPECT_EQ(r.shard_ms.size(), 8u);
+  int busy = 0;
+  for (double ms : r.shard_ms) busy += ms > 0;
+  EXPECT_EQ(busy, 3);
+}
+
+TEST(MultiDeviceDeath, RejectsZeroDevices) {
+  auto batch = saloba::testing::imbalanced_batch(407, 4, 10, 50);
+  EXPECT_DEATH(dispatch_shards(batch, 0, SplitPolicy::kStatic, area_runner), "at least one");
+}
+
+}  // namespace
+}  // namespace saloba::gpusim

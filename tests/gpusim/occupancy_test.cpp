@@ -1,0 +1,69 @@
+#include "gpusim/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saloba::gpusim {
+namespace {
+
+TEST(Occupancy, ThreadLimited) {
+  DeviceSpec spec = DeviceSpec::gtx1650();  // 1024 threads/SM
+  Occupancy occ = compute_occupancy(spec, 256, 0);
+  EXPECT_EQ(occ.limited_by_threads, 4);
+  EXPECT_EQ(occ.blocks_per_sm, 4);
+  EXPECT_EQ(occ.warps_per_sm, 32);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  DeviceSpec spec = DeviceSpec::gtx1650();  // 64 KiB shared/SM
+  Occupancy occ = compute_occupancy(spec, 32, 32 << 10);
+  EXPECT_EQ(occ.limited_by_shared, 2);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+}
+
+TEST(Occupancy, BlockSlotLimited) {
+  DeviceSpec spec = DeviceSpec::gtx1650();  // 16 blocks/SM
+  Occupancy occ = compute_occupancy(spec, 32, 0);
+  EXPECT_EQ(occ.blocks_per_sm, 16);
+  EXPECT_EQ(occ.warps_per_sm, 16);
+}
+
+TEST(Occupancy, WarpOccupancyFraction) {
+  DeviceSpec spec = DeviceSpec::rtx3090();  // 1536 threads/SM -> 48 warps
+  Occupancy occ = compute_occupancy(spec, 128, 0);
+  EXPECT_EQ(occ.blocks_per_sm, 12);
+  EXPECT_NEAR(occ.warp_occupancy(spec), 1.0, 1e-12);
+}
+
+TEST(Occupancy, SalobaSharedFootprintFitsWell) {
+  // SALoBa: 4 warps/block, 2 KiB shared per warp = 8 KiB per block.
+  DeviceSpec spec = DeviceSpec::gtx1650();
+  Occupancy occ = compute_occupancy(spec, 128, 8 << 10);
+  EXPECT_GE(occ.blocks_per_sm, 8);  // shared memory is not the bottleneck
+}
+
+TEST(OccupancyDeath, RejectsNonWarpMultiple) {
+  DeviceSpec spec = DeviceSpec::gtx1650();
+  EXPECT_DEATH(compute_occupancy(spec, 48, 0), "multiple of the warp size");
+}
+
+TEST(OccupancyDeath, RejectsOversizedSharedRequest) {
+  DeviceSpec spec = DeviceSpec::gtx1650();
+  EXPECT_DEATH(compute_occupancy(spec, 128, 1 << 20), "shared memory");
+}
+
+TEST(DeviceSpecs, PaperRatioHolds) {
+  // Sec. V-C: RTX3090 38.91 FLOPS/B vs GTX1650 23.82 FLOPS/B.
+  EXPECT_NEAR(DeviceSpec::rtx3090().flops_per_byte(), 38.0, 1.5);
+  EXPECT_NEAR(DeviceSpec::gtx1650().flops_per_byte(), 23.3, 1.5);
+  EXPECT_GT(DeviceSpec::rtx3090().flops_per_byte(), DeviceSpec::gtx1650().flops_per_byte());
+}
+
+TEST(DeviceSpecs, GranularityMatchesTableOne) {
+  EXPECT_EQ(DeviceSpec::pascal_p100().mem_access_granularity, 128);
+  EXPECT_EQ(DeviceSpec::volta_v100().mem_access_granularity, 32);
+  EXPECT_EQ(DeviceSpec::gtx1650().mem_access_granularity, 32);
+  EXPECT_EQ(DeviceSpec::rtx3090().mem_access_granularity, 32);
+}
+
+}  // namespace
+}  // namespace saloba::gpusim

@@ -1,0 +1,64 @@
+#include "gpusim/shared_mem.hpp"
+
+#include <array>
+
+#include <gtest/gtest.h>
+
+namespace saloba::gpusim {
+namespace {
+
+TEST(SharedMem, DistinctBanksAreConflictFree) {
+  std::array<SharedAccess, 32> acc{};
+  for (int l = 0; l < 32; ++l) {
+    acc[static_cast<std::size_t>(l)] = SharedAccess{static_cast<std::uint32_t>(l) * 4, 4};
+  }
+  EXPECT_EQ(shared_conflict_degree(acc), 1);
+}
+
+TEST(SharedMem, SameWordBroadcasts) {
+  std::array<SharedAccess, 32> acc{};
+  for (auto& a : acc) a = SharedAccess{64, 4};
+  EXPECT_EQ(shared_conflict_degree(acc), 1);
+}
+
+TEST(SharedMem, SameBankDifferentWordsConflict) {
+  // Words 0 and 32 share bank 0.
+  std::array<SharedAccess, 32> acc{};
+  acc[0] = SharedAccess{0, 4};
+  acc[1] = SharedAccess{32 * 4, 4};
+  EXPECT_EQ(shared_conflict_degree(acc), 2);
+}
+
+TEST(SharedMem, StrideOf32WordsIsWorstCase) {
+  std::array<SharedAccess, 32> acc{};
+  for (int l = 0; l < 32; ++l) {
+    acc[static_cast<std::size_t>(l)] =
+        SharedAccess{static_cast<std::uint32_t>(l) * 32 * 4, 4};
+  }
+  EXPECT_EQ(shared_conflict_degree(acc), 32);
+}
+
+TEST(SharedMem, EightByteAccessSpansTwoBanks) {
+  std::array<SharedAccess, 32> acc{};
+  acc[0] = SharedAccess{0, 8};   // banks 0,1
+  acc[1] = SharedAccess{4, 4};   // bank 1, same word as lane 0's second half? no: word 1
+  EXPECT_EQ(shared_conflict_degree(acc), 1);  // word 1 shared -> broadcast
+}
+
+TEST(SharedMem, StrideOfEightWordsConflictsFourWay) {
+  // Lanes 0,4,8,... hit the same bank with distinct words.
+  std::array<SharedAccess, 32> acc{};
+  for (int l = 0; l < 32; ++l) {
+    acc[static_cast<std::size_t>(l)] =
+        SharedAccess{static_cast<std::uint32_t>(l) * 8 * 4, 4};
+  }
+  EXPECT_EQ(shared_conflict_degree(acc), 8);
+}
+
+TEST(SharedMem, InactiveLanesIgnored) {
+  std::array<SharedAccess, 32> acc{};
+  EXPECT_EQ(shared_conflict_degree(acc), 1);  // clamped minimum
+}
+
+}  // namespace
+}  // namespace saloba::gpusim

@@ -1,0 +1,96 @@
+#include "gpusim/warp.hpp"
+
+#include <array>
+
+#include <gtest/gtest.h>
+
+namespace saloba::gpusim {
+namespace {
+
+TEST(Warp, IssueCountsSlotsAndLanes) {
+  WarpContext warp(32, 32);
+  warp.issue(10, 32);
+  warp.issue(5, 8);  // divergent: only 8 lanes active, slots still burn
+  EXPECT_EQ(warp.counters().instructions, 15u);
+  EXPECT_EQ(warp.counters().active_lane_ops, 10u * 32 + 5u * 8);
+  EXPECT_NEAR(warp.counters().lane_utilization(32), (320.0 + 40.0) / (15 * 32), 1e-12);
+}
+
+TEST(Warp, GlobalReadAccountsTransactions) {
+  WarpContext warp(32, 32);
+  std::array<MemAccess, 32> acc{};
+  for (int l = 0; l < 32; ++l) {
+    acc[static_cast<std::size_t>(l)] = MemAccess{static_cast<std::uint64_t>(l) * 4096, 4};
+  }
+  warp.global_read(acc);
+  EXPECT_EQ(warp.counters().global_requests, 1u);
+  EXPECT_EQ(warp.counters().global_transactions, 32u);
+  EXPECT_EQ(warp.counters().global_bytes_moved, 1024u);
+  EXPECT_EQ(warp.counters().global_bytes_useful, 128u);
+  EXPECT_EQ(warp.counters().instructions, 1u);
+}
+
+TEST(Warp, CachedReadChargesIdealTransactions) {
+  WarpContext warp(32, 32);
+  std::array<MemAccess, 32> acc{};
+  for (int l = 0; l < 32; ++l) {
+    acc[static_cast<std::size_t>(l)] = MemAccess{static_cast<std::uint64_t>(l) * 4096, 4};
+  }
+  warp.global_read_cached(acc);
+  EXPECT_EQ(warp.counters().global_transactions, 4u);  // 128 B / 32 B
+  EXPECT_EQ(warp.counters().global_bytes_moved, 128u);
+}
+
+TEST(Warp, SharedAccessAccumulatesConflictCycles) {
+  WarpContext warp(32, 32);
+  std::array<SharedAccess, 32> acc{};
+  for (int l = 0; l < 32; ++l) {
+    acc[static_cast<std::size_t>(l)] = SharedAccess{static_cast<std::uint32_t>(l) * 4, 4};
+  }
+  warp.shared_access(acc);  // conflict-free
+  EXPECT_EQ(warp.counters().shared_conflict_cycles, 0u);
+  std::array<SharedAccess, 32> bad{};
+  for (int l = 0; l < 32; ++l) {
+    bad[static_cast<std::size_t>(l)] = SharedAccess{static_cast<std::uint32_t>(l) * 128, 4};
+  }
+  warp.shared_access(bad);  // 32-way conflict
+  EXPECT_EQ(warp.counters().shared_conflict_cycles, 31u);
+  EXPECT_EQ(warp.counters().shared_requests, 2u);
+}
+
+TEST(Warp, SyncCounts) {
+  WarpContext warp(32, 32);
+  warp.sync();
+  warp.sync();
+  EXPECT_EQ(warp.counters().syncs, 2u);
+}
+
+TEST(Warp, CellsTracked) {
+  WarpContext warp(32, 32);
+  warp.add_cells(64);
+  warp.add_cells(64);
+  EXPECT_EQ(warp.counters().dp_cells, 128u);
+}
+
+TEST(WarpCounters, MergeSumsFields) {
+  WarpCounters a, b;
+  a.instructions = 10;
+  a.global_bytes_moved = 100;
+  b.instructions = 5;
+  b.global_bytes_moved = 50;
+  a.merge(b);
+  EXPECT_EQ(a.instructions, 15u);
+  EXPECT_EQ(a.global_bytes_moved, 150u);
+}
+
+TEST(KernelStats, SummaryMentionsKeyCounters) {
+  KernelStats stats;
+  stats.totals.instructions = 42;
+  stats.warps = 7;
+  std::string s = stats.summary(32);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("warps=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saloba::gpusim

@@ -1,0 +1,121 @@
+#include "kernels/block_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "align/sw_reference.hpp"
+
+namespace saloba::kernels {
+namespace {
+
+using align::ScoringScheme;
+
+TEST(BlockDp, SingleBlockEqualsReferenceOnSmallInputs) {
+  util::Xoshiro256 rng(81);
+  ScoringScheme s;
+  for (int trial = 0; trial < 50; ++trial) {
+    int rh = 1 + static_cast<int>(rng.below(8));
+    int qw = 1 + static_cast<int>(rng.below(8));
+    auto ref = saloba::testing::random_seq(rng, static_cast<std::size_t>(rh));
+    auto query = saloba::testing::random_seq(rng, static_cast<std::size_t>(qw));
+
+    BlockOutput out;
+    block_dp(ref.data(), query.data(), rh, qw, 0, 0, BlockBoundary::table_edge(), s, out);
+    auto expected = align::smith_waterman(ref, query, s);
+    EXPECT_EQ(out.best.score, expected.score);
+    if (expected.score > 0) {
+      EXPECT_EQ(out.best.ref_end, expected.ref_end);
+      EXPECT_EQ(out.best.query_end, expected.query_end);
+    }
+  }
+}
+
+// Tile a bigger table with 8x8 blocks, threading boundaries exactly as the
+// kernels do, and compare every output surface against the full matrix.
+TEST(BlockDp, TiledGridReproducesFullTable) {
+  util::Xoshiro256 rng(82);
+  ScoringScheme s;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t n = 8 + rng.below(41);  // 8..48 rows
+    std::size_t m = 8 + rng.below(41);
+    auto ref = saloba::testing::random_seq(rng, n);
+    auto query = saloba::testing::mutate(
+        rng, saloba::testing::random_seq(rng, std::max(n, m)), 0.0);
+    query.resize(m);
+
+    const std::size_t strips = (n + 7) / 8;
+    const std::size_t words = (m + 7) / 8;
+    std::vector<align::Score> row_h(m, 0), row_f(m, kBoundaryNegInf);
+    align::AlignmentResult best;
+
+    for (std::size_t st = 0; st < strips; ++st) {
+      align::Score left_h[8], left_e[8];
+      for (int k = 0; k < 8; ++k) {
+        left_h[k] = 0;
+        left_e[k] = kBoundaryNegInf;
+      }
+      align::Score diag = 0;
+      for (std::size_t w = 0; w < words; ++w) {
+        std::size_t i0 = st * 8, j0 = w * 8;
+        int rh = static_cast<int>(std::min<std::size_t>(8, n - i0));
+        int qw = static_cast<int>(std::min<std::size_t>(8, m - j0));
+        BlockBoundary bound;
+        for (int k = 0; k < qw; ++k) {
+          bound.top_h[k] = st == 0 ? 0 : row_h[j0 + static_cast<std::size_t>(k)];
+          bound.top_f[k] = st == 0 ? kBoundaryNegInf : row_f[j0 + static_cast<std::size_t>(k)];
+        }
+        for (int k = 0; k < rh; ++k) {
+          bound.left_h[k] = left_h[k];
+          bound.left_e[k] = left_e[k];
+        }
+        bound.diag_h = diag;
+        diag = (st == 0 || j0 + 8 > m) ? 0 : row_h[j0 + 7];
+
+        BlockOutput out;
+        block_dp(ref.data() + i0, query.data() + j0, rh, qw, i0, j0, bound, s, out);
+        align::take_better(best, out.best);
+        for (int k = 0; k < qw; ++k) {
+          row_h[j0 + static_cast<std::size_t>(k)] = out.bottom_h[k];
+          row_f[j0 + static_cast<std::size_t>(k)] = out.bottom_f[k];
+        }
+        for (int k = 0; k < rh; ++k) {
+          left_h[k] = out.right_h[k];
+          left_e[k] = out.right_e[k];
+        }
+      }
+    }
+    auto expected = align::smith_waterman(ref, query, s);
+    if (best.score == 0) best = align::AlignmentResult{};
+    EXPECT_EQ(best, expected) << "n=" << n << " m=" << m;
+  }
+}
+
+TEST(BlockDp, BottomRowMatchesMatrixRow) {
+  util::Xoshiro256 rng(83);
+  ScoringScheme s;
+  auto ref = saloba::testing::random_seq(rng, 8);
+  auto query = saloba::testing::random_seq(rng, 8);
+  BlockOutput out;
+  block_dp(ref.data(), query.data(), 8, 8, 0, 0, BlockBoundary::table_edge(), s, out);
+  auto h = align::smith_waterman_matrix(ref, query, s);
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(out.bottom_h[k], h[8 * 9 + static_cast<std::size_t>(k) + 1]);
+  }
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(out.right_h[k], h[(static_cast<std::size_t>(k) + 1) * 9 + 8]);
+  }
+}
+
+TEST(BlockDp, TableEdgeBoundary) {
+  BlockBoundary b = BlockBoundary::table_edge();
+  for (int k = 0; k < kBlockDim; ++k) {
+    EXPECT_EQ(b.top_h[k], 0);
+    EXPECT_EQ(b.top_f[k], kBoundaryNegInf);
+    EXPECT_EQ(b.left_h[k], 0);
+    EXPECT_EQ(b.left_e[k], kBoundaryNegInf);
+  }
+  EXPECT_EQ(b.diag_h, 0);
+}
+
+}  // namespace
+}  // namespace saloba::kernels

@@ -1,0 +1,73 @@
+// Determinism: repeated runs of any kernel over the same batch must produce
+// identical results *and* identical counters, regardless of host-parallel
+// execution order — the property that makes simulated figures reproducible.
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "kernels/kernel_iface.hpp"
+
+namespace saloba::kernels {
+namespace {
+
+class KernelDeterminism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(KernelDeterminism, ResultsAndCountersStable) {
+  auto batch = saloba::testing::imbalanced_batch(171, 48, 10, 400);
+  align::ScoringScheme s;
+  auto kernel = make_kernel(GetParam());
+
+  gpusim::Device d1(gpusim::DeviceSpec::gtx1650());
+  auto a = kernel->run(d1, batch, s);
+  gpusim::Device d2(gpusim::DeviceSpec::gtx1650());
+  auto b = kernel->run(d2, batch, s);
+
+  EXPECT_EQ(a.results, b.results);
+  EXPECT_EQ(a.stats.totals.instructions, b.stats.totals.instructions);
+  EXPECT_EQ(a.stats.totals.global_transactions, b.stats.totals.global_transactions);
+  EXPECT_EQ(a.stats.totals.global_bytes_moved, b.stats.totals.global_bytes_moved);
+  EXPECT_EQ(a.stats.totals.shared_requests, b.stats.totals.shared_requests);
+  EXPECT_EQ(a.stats.totals.dp_cells, b.stats.totals.dp_cells);
+  EXPECT_DOUBLE_EQ(a.time.total_ms, b.time.total_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelDeterminism,
+                         ::testing::Values("gasal2", "nvbio", "soap3-dp", "cushaw2-gpu",
+                                           "sw#", "adept", "saloba", "saloba-sw16",
+                                           "saloba-intra"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(KernelTimeModel, TimeScalesWithWork) {
+  // Twice the pairs => roughly twice the compute-bound time.
+  align::ScoringScheme s;
+  auto small = saloba::testing::related_batch(172, 64, 256, 256);
+  auto large = saloba::testing::related_batch(172, 128, 256, 256);
+  auto kernel = make_kernel("saloba");
+  gpusim::Device d1(gpusim::DeviceSpec::rtx3090());
+  double t_small = kernel->run(d1, small, s).time.total_ms;
+  gpusim::Device d2(gpusim::DeviceSpec::rtx3090());
+  double t_large = kernel->run(d2, large, s).time.total_ms;
+  EXPECT_GT(t_large, t_small * 1.5);
+  EXPECT_LT(t_large, t_small * 2.6);
+}
+
+TEST(KernelTimeModel, FasterDeviceIsFaster) {
+  align::ScoringScheme s;
+  auto batch = saloba::testing::related_batch(173, 128, 512, 512);
+  for (const char* name : {"gasal2", "saloba", "adept"}) {
+    auto kernel = make_kernel(name);
+    gpusim::Device slow(gpusim::DeviceSpec::gtx1650());
+    gpusim::Device fast(gpusim::DeviceSpec::rtx3090());
+    double t_slow = kernel->run(slow, batch, s).time.total_ms;
+    double t_fast = kernel->run(fast, batch, s).time.total_ms;
+    EXPECT_LT(t_fast, t_slow) << name;
+  }
+}
+
+}  // namespace
+}  // namespace saloba::kernels

@@ -1,0 +1,71 @@
+#include "seedext/bwt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::seedext {
+namespace {
+
+TEST(Bwt, RoundTripKnownString) {
+  auto text = seq::encode_string("GATTACA");
+  auto bwt = build_bwt(text);
+  EXPECT_EQ(bwt.bwt.size(), text.size() + 1);
+  EXPECT_EQ(invert_bwt(bwt), text);
+}
+
+TEST(Bwt, SentinelAppearsExactlyOnce) {
+  auto text = seq::encode_string("ACGTACGT");
+  auto bwt = build_bwt(text);
+  std::size_t sentinels = 0;
+  for (auto c : bwt.bwt) sentinels += (c == kBwtSentinel);
+  EXPECT_EQ(sentinels, 1u);
+  EXPECT_EQ(bwt.bwt[bwt.primary], kBwtSentinel);
+}
+
+TEST(Bwt, BwtIsPermutationOfTextPlusSentinel) {
+  util::Xoshiro256 rng(111);
+  auto text = saloba::testing::random_seq(rng, 200);
+  auto bwt = build_bwt(text);
+  std::array<int, 6> text_counts{}, bwt_counts{};
+  for (auto c : text) ++text_counts[c];
+  for (auto c : bwt.bwt) ++bwt_counts[c == kBwtSentinel ? 5 : c];
+  for (int c = 0; c < 5; ++c) EXPECT_EQ(text_counts[c], bwt_counts[c]);
+  EXPECT_EQ(bwt_counts[5], 1);
+}
+
+class BwtRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BwtRoundTrip, RandomTextsSurvive) {
+  util::Xoshiro256 rng(GetParam() * 3 + 7);
+  auto text = saloba::testing::random_seq_with_n(rng, GetParam(), 0.05);
+  EXPECT_EQ(invert_bwt(build_bwt(text)), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BwtRoundTrip,
+                         ::testing::Values(1, 2, 5, 16, 100, 1000, 10000));
+
+TEST(Bwt, EmptyText) {
+  std::vector<seq::BaseCode> empty;
+  auto bwt = build_bwt(empty);
+  EXPECT_TRUE(invert_bwt(bwt).empty());
+}
+
+TEST(Bwt, RepetitiveTextGroupsRuns) {
+  // BWT of a highly repetitive string has long runs — sanity-check the
+  // compression-friendliness property.
+  std::vector<seq::BaseCode> text;
+  for (int i = 0; i < 64; ++i) {
+    auto unit = seq::encode_string("ACGT");
+    text.insert(text.end(), unit.begin(), unit.end());
+  }
+  auto bwt = build_bwt(text);
+  std::size_t runs = 1;
+  for (std::size_t i = 1; i < bwt.bwt.size(); ++i) runs += bwt.bwt[i] != bwt.bwt[i - 1];
+  EXPECT_LT(runs, bwt.bwt.size() / 8);
+  EXPECT_EQ(invert_bwt(bwt), text);
+}
+
+}  // namespace
+}  // namespace saloba::seedext

@@ -1,0 +1,88 @@
+#include "seedext/chaining.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saloba::seedext {
+namespace {
+
+TEST(Chaining, ColinearSeedsFormOneChain) {
+  std::vector<Seed> seeds{{0, 1000, 30}, {40, 1040, 30}, {80, 1080, 30}};
+  auto chains = chain_seeds(seeds, ChainingParams{});
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].seeds.size(), 3u);
+  EXPECT_EQ(chains[0].first().qpos, 0u);
+  EXPECT_EQ(chains[0].last().qpos, 80u);
+}
+
+TEST(Chaining, DistantDiagonalsSplitChains) {
+  ChainingParams params;
+  params.max_diag_drift = 100;
+  params.drop_ratio = 0.1;
+  std::vector<Seed> seeds{{0, 1000, 30}, {40, 90040, 30}};  // far apart in ref
+  auto chains = chain_seeds(seeds, params);
+  EXPECT_EQ(chains.size(), 2u);
+  EXPECT_EQ(chains[0].seeds.size(), 1u);
+}
+
+TEST(Chaining, OverlappingSeedsDoNotChain) {
+  std::vector<Seed> seeds{{0, 1000, 50}, {20, 1020, 50}};  // overlap on both axes
+  auto chains = chain_seeds(seeds, ChainingParams{});
+  for (const auto& c : chains) EXPECT_EQ(c.seeds.size(), 1u);
+}
+
+TEST(Chaining, GapPenaltyReducesScore) {
+  ChainingParams params;
+  std::vector<Seed> tight{{0, 1000, 30}, {30, 1030, 30}};
+  std::vector<Seed> gapped{{0, 1000, 30}, {230, 1230, 30}};
+  auto chains_tight = chain_seeds(tight, params);
+  auto chains_gapped = chain_seeds(gapped, params);
+  ASSERT_FALSE(chains_tight.empty());
+  ASSERT_FALSE(chains_gapped.empty());
+  EXPECT_GT(chains_tight[0].score, chains_gapped[0].score);
+}
+
+TEST(Chaining, TopNLimitsOutput) {
+  ChainingParams params;
+  params.top_n = 2;
+  params.drop_ratio = 0.0;
+  std::vector<Seed> seeds;
+  for (int i = 0; i < 6; ++i) {
+    seeds.push_back(Seed{0, static_cast<std::uint32_t>(10000 * (i + 1)), 25});
+  }
+  auto chains = chain_seeds(seeds, params);
+  EXPECT_LE(chains.size(), 2u);
+}
+
+TEST(Chaining, DropRatioPrunesWeakChains) {
+  ChainingParams params;
+  params.drop_ratio = 0.9;
+  std::vector<Seed> seeds{{0, 1000, 100}, {0, 50000, 20}};  // strong + weak
+  auto chains = chain_seeds(seeds, params);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].first().rpos, 1000u);
+}
+
+TEST(Chaining, BestChainFirst) {
+  ChainingParams params;
+  params.drop_ratio = 0.0;
+  std::vector<Seed> seeds{{0, 1000, 20}, {0, 50000, 80}};
+  auto chains = chain_seeds(seeds, params);
+  ASSERT_GE(chains.size(), 1u);
+  EXPECT_EQ(chains[0].first().rpos, 50000u);
+}
+
+TEST(Chaining, EmptyInput) {
+  EXPECT_TRUE(chain_seeds({}, ChainingParams{}).empty());
+}
+
+TEST(Chaining, MaxGapPreventsChaining) {
+  ChainingParams params;
+  params.max_gap = 50;
+  params.drop_ratio = 0.0;
+  std::vector<Seed> seeds{{0, 1000, 30}, {200, 1200, 30}};  // gap 170 > 50
+  auto chains = chain_seeds(seeds, params);
+  for (const auto& c : chains) EXPECT_EQ(c.seeds.size(), 1u);
+}
+
+}  // namespace
+}  // namespace saloba::seedext

@@ -1,0 +1,122 @@
+#include "seedext/extension_jobs.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::seedext {
+namespace {
+
+Chain single_seed_chain(std::uint32_t qpos, std::uint32_t rpos, std::uint32_t len) {
+  Chain c;
+  c.seeds.push_back(Seed{qpos, rpos, len});
+  c.score = len;
+  return c;
+}
+
+TEST(ExtensionJobs, LeftJobIsReversedPrefixAndWindow) {
+  util::Xoshiro256 rng(151);
+  auto genome = saloba::testing::random_seq(rng, 5000);
+  auto read = saloba::testing::random_seq(rng, 200);
+  Chain chain = single_seed_chain(/*qpos=*/60, /*rpos=*/2000, /*len=*/50);
+  JobParams params;
+  params.min_band = 20;
+  params.band_frac = 0.5;
+  auto jobs = make_extension_jobs(genome, read, chain, 7, params);
+  ASSERT_EQ(jobs.size(), 2u);
+
+  const auto& left = jobs[0];
+  EXPECT_TRUE(left.left);
+  EXPECT_EQ(left.read_id, 7u);
+  ASSERT_EQ(left.query.size(), 60u);
+  // Reversed prefix: left.query[0] == read[59].
+  for (std::size_t i = 0; i < 60; ++i) EXPECT_EQ(left.query[i], read[59 - i]);
+  // Reversed reference window ending at rpos: left.ref[0] == genome[1999].
+  std::size_t window = 60 + std::max<std::size_t>(20, 30);
+  ASSERT_EQ(left.ref.size(), window);
+  for (std::size_t i = 0; i < window; ++i) EXPECT_EQ(left.ref[i], genome[1999 - i]);
+  EXPECT_EQ(left.ref_origin, 2000u - window);
+}
+
+TEST(ExtensionJobs, RightJobIsSuffixAndForwardWindow) {
+  util::Xoshiro256 rng(152);
+  auto genome = saloba::testing::random_seq(rng, 5000);
+  auto read = saloba::testing::random_seq(rng, 200);
+  Chain chain = single_seed_chain(60, 2000, 50);
+  JobParams params;
+  params.min_band = 20;
+  params.band_frac = 0.5;
+  auto jobs = make_extension_jobs(genome, read, chain, 1, params);
+  const auto& right = jobs[1];
+  EXPECT_FALSE(right.left);
+  ASSERT_EQ(right.query.size(), 90u);  // 200 - (60+50)
+  for (std::size_t i = 0; i < 90; ++i) EXPECT_EQ(right.query[i], read[110 + i]);
+  std::size_t window = 90 + std::max<std::size_t>(20, 45);
+  ASSERT_EQ(right.ref.size(), window);
+  for (std::size_t i = 0; i < window; ++i) EXPECT_EQ(right.ref[i], genome[2050 + i]);
+  EXPECT_EQ(right.ref_origin, 2050u);
+}
+
+TEST(ExtensionJobs, SeedAtReadStartSkipsLeftJob) {
+  util::Xoshiro256 rng(153);
+  auto genome = saloba::testing::random_seq(rng, 2000);
+  auto read = saloba::testing::random_seq(rng, 100);
+  Chain chain = single_seed_chain(0, 500, 40);
+  auto jobs = make_extension_jobs(genome, read, chain, 0, JobParams{});
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_FALSE(jobs[0].left);
+}
+
+TEST(ExtensionJobs, SeedCoveringWholeReadYieldsNoJobs) {
+  util::Xoshiro256 rng(154);
+  auto genome = saloba::testing::random_seq(rng, 2000);
+  auto read = saloba::testing::random_seq(rng, 100);
+  Chain chain = single_seed_chain(0, 500, 100);
+  EXPECT_TRUE(make_extension_jobs(genome, read, chain, 0, JobParams{}).empty());
+}
+
+TEST(ExtensionJobs, WindowClampedAtGenomeEdges) {
+  util::Xoshiro256 rng(155);
+  auto genome = saloba::testing::random_seq(rng, 1000);
+  auto read = saloba::testing::random_seq(rng, 100);
+  // Anchor near the genome start: left window must clamp to rpos.
+  Chain chain = single_seed_chain(50, 10, 30);
+  auto jobs = make_extension_jobs(genome, read, chain, 0, JobParams{});
+  ASSERT_FALSE(jobs.empty());
+  EXPECT_TRUE(jobs[0].left);
+  EXPECT_EQ(jobs[0].ref.size(), 10u);
+  EXPECT_EQ(jobs[0].ref_origin, 0u);
+}
+
+TEST(ExtensionJobs, MultiSeedChainUsesAnchorAndTail) {
+  util::Xoshiro256 rng(156);
+  auto genome = saloba::testing::random_seq(rng, 5000);
+  auto read = saloba::testing::random_seq(rng, 300);
+  Chain chain;
+  chain.seeds = {Seed{50, 1050, 40}, Seed{120, 1120, 60}};
+  auto jobs = make_extension_jobs(genome, read, chain, 0, JobParams{});
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].query.size(), 50u);             // left of first seed
+  EXPECT_EQ(jobs[1].query.size(), 300u - 180u);     // right of last seed end
+}
+
+TEST(ExtensionJobs, BatchPreservesOrder) {
+  util::Xoshiro256 rng(157);
+  std::vector<ExtensionJob> jobs(3);
+  jobs[0].query = saloba::testing::random_seq(rng, 10);
+  jobs[0].ref = saloba::testing::random_seq(rng, 20);
+  jobs[1].query = saloba::testing::random_seq(rng, 30);
+  jobs[1].ref = saloba::testing::random_seq(rng, 40);
+  jobs[2].query = saloba::testing::random_seq(rng, 50);
+  jobs[2].ref = saloba::testing::random_seq(rng, 60);
+  auto batch = jobs_to_batch(jobs);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.queries[0], jobs[0].query);
+  EXPECT_EQ(batch.refs[2], jobs[2].ref);
+}
+
+}  // namespace
+}  // namespace saloba::seedext

@@ -1,0 +1,101 @@
+#include "seedext/fm_index.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::seedext {
+namespace {
+
+std::size_t naive_count(const std::vector<seq::BaseCode>& text,
+                        const std::vector<seq::BaseCode>& pattern) {
+  if (pattern.empty() || pattern.size() > text.size()) return 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i + pattern.size() <= text.size(); ++i) {
+    if (std::equal(pattern.begin(), pattern.end(), text.begin() + static_cast<std::ptrdiff_t>(i))) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(FmIndex, CountsKnownPattern) {
+  auto text = seq::encode_string("GATTACAGATTACAGATT");
+  FmIndex index(text);
+  EXPECT_EQ(index.count(seq::encode_string("GATT")), 3u);
+  EXPECT_EQ(index.count(seq::encode_string("GATTACA")), 2u);
+  EXPECT_EQ(index.count(seq::encode_string("CCC")), 0u);
+}
+
+TEST(FmIndex, LocatePositionsAreRealOccurrences) {
+  util::Xoshiro256 rng(121);
+  auto text = saloba::testing::random_seq(rng, 5000);
+  FmIndex index(text);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t pos = rng.below(text.size() - 12);
+    std::vector<seq::BaseCode> pattern(text.begin() + static_cast<std::ptrdiff_t>(pos),
+                                       text.begin() + static_cast<std::ptrdiff_t>(pos + 12));
+    auto hits = index.locate(pattern);
+    EXPECT_FALSE(hits.empty());
+    bool found_planted = false;
+    for (auto hit : hits) {
+      ASSERT_LE(hit + 12, text.size());
+      EXPECT_TRUE(std::equal(pattern.begin(), pattern.end(),
+                             text.begin() + static_cast<std::ptrdiff_t>(hit)));
+      found_planted |= hit == pos;
+    }
+    EXPECT_TRUE(found_planted);
+  }
+}
+
+TEST(FmIndex, CountMatchesNaiveOnRandomPatterns) {
+  util::Xoshiro256 rng(122);
+  auto text = saloba::testing::random_seq(rng, 2000);
+  FmIndex index(text);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto pattern = saloba::testing::random_seq(rng, 1 + rng.below(10));
+    EXPECT_EQ(index.count(pattern), naive_count(text, pattern));
+  }
+}
+
+TEST(FmIndex, MaxHitsCapsLocate) {
+  std::vector<seq::BaseCode> text(1000, seq::kBaseA);
+  FmIndex index(text);
+  auto hits = index.locate(seq::encode_string("AAAA"), 10);
+  EXPECT_EQ(hits.size(), 10u);
+}
+
+TEST(FmIndex, ExtendLeftStepsMatchSearch) {
+  util::Xoshiro256 rng(123);
+  auto text = saloba::testing::random_seq(rng, 3000);
+  FmIndex index(text);
+  auto pattern = saloba::testing::random_seq(rng, 8);
+  FmIndex::Interval iv = index.whole_text();
+  for (std::size_t k = pattern.size(); k-- > 0;) iv = index.extend_left(iv, pattern[k]);
+  EXPECT_EQ(iv.size(), index.count(pattern));
+}
+
+TEST(FmIndex, EmptyPatternMatchesEverywhere) {
+  auto text = seq::encode_string("ACGT");
+  FmIndex index(text);
+  EXPECT_EQ(index.count({}), text.size() + 1);  // all rows, incl. sentinel
+}
+
+TEST(FmIndex, NIsSearchableAsLiteral) {
+  auto text = seq::encode_string("ACGNNACG");
+  FmIndex index(text);
+  EXPECT_EQ(index.count(seq::encode_string("NN")), 1u);
+  EXPECT_EQ(index.count(seq::encode_string("GN")), 1u);
+}
+
+TEST(FmIndex, TextSizeReported) {
+  auto text = seq::encode_string("ACGTACGT");
+  FmIndex index(text);
+  EXPECT_EQ(index.text_size(), 8u);
+}
+
+}  // namespace
+}  // namespace saloba::seedext

@@ -1,0 +1,91 @@
+#include "seedext/kmer_index.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::seedext {
+namespace {
+
+TEST(KmerIndex, FindsAllOccurrences) {
+  util::Xoshiro256 rng(131);
+  auto text = saloba::testing::random_seq(rng, 3000);
+  KmerIndex index(text, 11);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::size_t pos = rng.below(text.size() - 11);
+    std::span<const seq::BaseCode> kmer(text.data() + pos, 11);
+    auto hits = index.lookup(kmer);
+    // Naive expected positions.
+    std::set<std::uint32_t> expected;
+    for (std::size_t i = 0; i + 11 <= text.size(); ++i) {
+      if (std::equal(kmer.begin(), kmer.end(), text.begin() + static_cast<std::ptrdiff_t>(i))) {
+        expected.insert(static_cast<std::uint32_t>(i));
+      }
+    }
+    std::set<std::uint32_t> got(hits.begin(), hits.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(KmerIndex, NKmersNotIndexed) {
+  auto text = seq::encode_string("ACGTNACGTACGT");
+  KmerIndex index(text, 5);
+  // Any window overlapping the N is absent.
+  EXPECT_TRUE(index.lookup(seq::encode_string("CGTNA")).empty());
+  EXPECT_FALSE(index.lookup(seq::encode_string("ACGTA")).empty());
+}
+
+TEST(KmerIndex, LookupOfAbsentKmer) {
+  std::vector<seq::BaseCode> text(100, seq::kBaseA);
+  KmerIndex index(text, 8);
+  EXPECT_TRUE(index.lookup(seq::encode_string("CCCCCCCC")).empty());
+  EXPECT_EQ(index.lookup(seq::encode_string("AAAAAAAA")).size(), 93u);
+}
+
+TEST(KmerIndex, PackKmerRejectsN) {
+  auto kmer = seq::encode_string("ACGN");
+  EXPECT_FALSE(KmerIndex::pack_kmer(kmer, 4).has_value());
+  EXPECT_TRUE(KmerIndex::pack_kmer(seq::encode_string("ACGT"), 4).has_value());
+}
+
+TEST(KmerIndex, PackKmerIsInjectiveOnSmallK) {
+  std::set<std::uint64_t> keys;
+  std::vector<seq::BaseCode> kmer(4);
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b)
+      for (int c = 0; c < 4; ++c)
+        for (int d = 0; d < 4; ++d) {
+          kmer = {static_cast<seq::BaseCode>(a), static_cast<seq::BaseCode>(b),
+                  static_cast<seq::BaseCode>(c), static_cast<seq::BaseCode>(d)};
+          keys.insert(*KmerIndex::pack_kmer(kmer, 4));
+        }
+  EXPECT_EQ(keys.size(), 256u);
+}
+
+TEST(KmerIndex, CountsAndSizes) {
+  auto text = seq::encode_string("ACGTACGT");
+  KmerIndex index(text, 4);
+  EXPECT_EQ(index.k(), 4);
+  EXPECT_EQ(index.indexed_positions(), 5u);
+  EXPECT_EQ(index.distinct_kmers(), 4u);  // ACGT, CGTA, GTAC, TACG
+}
+
+TEST(KmerIndex, TextShorterThanK) {
+  auto text = seq::encode_string("ACG");
+  KmerIndex index(text, 8);
+  EXPECT_EQ(index.indexed_positions(), 0u);
+  EXPECT_TRUE(index.lookup(seq::encode_string("ACGTACGT")).empty());
+}
+
+TEST(KmerIndexDeath, RejectsBadK) {
+  auto text = seq::encode_string("ACGTACGT");
+  EXPECT_DEATH(KmerIndex(text, 2), "k must be");
+  EXPECT_DEATH(KmerIndex(text, 40), "k must be");
+}
+
+}  // namespace
+}  // namespace saloba::seedext

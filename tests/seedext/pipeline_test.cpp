@@ -1,0 +1,133 @@
+#include "seedext/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seq/random_genome.hpp"
+#include "seq/read_simulator.hpp"
+#include "util/stats.hpp"
+
+namespace saloba::seedext {
+namespace {
+
+std::vector<seq::BaseCode> pipeline_genome(std::uint64_t seed = 42) {
+  seq::GenomeParams p;
+  p.length = 300000;
+  p.repeat_fraction = 0.05;  // repeat-light for unambiguous mapping checks
+  p.n_fraction = 0.0;
+  p.seed = seed;
+  return seq::generate_genome(p);
+}
+
+TEST(Pipeline, ErrorFreeReadsMapToTruePosition) {
+  auto genome = pipeline_genome();
+  seq::ReadProfile profile = seq::ReadProfile::equal_length(150);
+  profile.mutation_rate = 0.0;
+  profile.error_rate = 0.0;
+  seq::ReadSimulator sim(genome, profile, 7);
+  ReadMapper mapper(genome, MapperParams{});
+
+  int correct = 0, total = 0;
+  for (const auto& r : sim.simulate(50)) {
+    auto mapping = mapper.map(r.read.bases);
+    ASSERT_TRUE(mapping.mapped);
+    EXPECT_EQ(mapping.reverse_strand, r.reverse_strand);
+    ++total;
+    if (mapping.ref_pos == r.true_pos) ++correct;
+  }
+  // Repeats can relocate a handful of reads; demand a high exact-hit rate.
+  EXPECT_GE(correct, total * 9 / 10);
+}
+
+TEST(Pipeline, NoisyReadsStillMapNearby) {
+  auto genome = pipeline_genome(43);
+  seq::ReadProfile profile = seq::ReadProfile::illumina_250bp();
+  seq::ReadSimulator sim(genome, profile, 8);
+  ReadMapper mapper(genome, MapperParams{});
+
+  int near = 0, total = 0;
+  for (const auto& r : sim.simulate(40)) {
+    auto mapping = mapper.map(r.read.bases);
+    ++total;
+    if (!mapping.mapped) continue;
+    auto dist = mapping.ref_pos > r.true_pos ? mapping.ref_pos - r.true_pos
+                                             : r.true_pos - mapping.ref_pos;
+    if (dist < 30) ++near;
+  }
+  EXPECT_GE(near, total * 8 / 10);
+}
+
+TEST(Pipeline, MapBatchMatchesSingleMapping) {
+  auto genome = pipeline_genome(44);
+  seq::ReadProfile profile = seq::ReadProfile::equal_length(120);
+  seq::ReadSimulator sim(genome, profile, 9);
+  ReadMapper mapper(genome, MapperParams{});
+  std::vector<std::vector<seq::BaseCode>> reads;
+  for (const auto& r : sim.simulate(20)) reads.push_back(r.read.bases);
+  auto batch = mapper.map_batch(reads);
+  ASSERT_EQ(batch.size(), reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    auto single = mapper.map(reads[i]);
+    EXPECT_EQ(batch[i].mapped, single.mapped);
+    EXPECT_EQ(batch[i].ref_pos, single.ref_pos);
+    EXPECT_EQ(batch[i].score, single.score);
+  }
+}
+
+TEST(Pipeline, CollectJobsProducesRealisticLengthSpread) {
+  auto genome = pipeline_genome(45);
+  seq::ReadProfile profile = seq::ReadProfile::illumina_250bp();
+  seq::ReadSimulator sim(genome, profile, 10);
+  ReadMapper mapper(genome, MapperParams{});
+  std::vector<std::vector<seq::BaseCode>> reads;
+  for (const auto& r : sim.simulate(100)) reads.push_back(r.read.bases);
+  auto jobs = mapper.collect_jobs(reads);
+  ASSERT_FALSE(jobs.empty());
+
+  std::vector<double> qlens;
+  for (const auto& j : jobs) {
+    EXPECT_LE(j.query.size(), 280u);  // bounded by read length (plus indels)
+    EXPECT_FALSE(j.ref.empty());
+    // Reference window is wider than the query side (BWA-MEM banding),
+    // except when clamped at a genome edge.
+    qlens.push_back(static_cast<double>(j.query.size()));
+  }
+  // Fig. 2 property: lengths are spread out, not clustered.
+  EXPECT_GT(util::coeff_variation(qlens), 0.3);
+}
+
+TEST(Pipeline, FmSeedingPathWorks) {
+  auto genome = pipeline_genome(46);
+  seq::ReadProfile profile = seq::ReadProfile::equal_length(100);
+  profile.mutation_rate = 0.0;
+  profile.error_rate = 0.0;
+  seq::ReadSimulator sim(genome, profile, 11);
+  MapperParams params;
+  params.use_fm_seeding = true;
+  ReadMapper mapper(genome, params);
+  int mapped = 0;
+  for (const auto& r : sim.simulate(15)) {
+    auto m = mapper.map(r.read.bases);
+    mapped += m.mapped && m.ref_pos == r.true_pos;
+  }
+  EXPECT_GE(mapped, 13);
+}
+
+TEST(Pipeline, EmptyReadDoesNotMap) {
+  auto genome = pipeline_genome(47);
+  ReadMapper mapper(genome, MapperParams{});
+  EXPECT_FALSE(mapper.map({}).mapped);
+}
+
+TEST(Pipeline, SeedsOfExposesForwardSeeds) {
+  auto genome = pipeline_genome(48);
+  ReadMapper mapper(genome, MapperParams{});
+  std::vector<seq::BaseCode> read(genome.begin() + 1000, genome.begin() + 1100);
+  auto seeds = mapper.seeds_of(read);
+  ASSERT_FALSE(seeds.empty());
+  bool found = false;
+  for (const auto& s : seeds) found |= s.rpos == 1000 && s.len == 100;
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace saloba::seedext

@@ -1,0 +1,153 @@
+#include "seedext/seeding.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::seedext {
+namespace {
+
+void expect_seeds_are_exact_matches(const std::vector<Seed>& seeds,
+                                    const std::vector<seq::BaseCode>& genome,
+                                    const std::vector<seq::BaseCode>& read) {
+  for (const Seed& s : seeds) {
+    ASSERT_LE(s.qpos + s.len, read.size());
+    ASSERT_LE(s.rpos + s.len, genome.size());
+    for (std::uint32_t i = 0; i < s.len; ++i) {
+      EXPECT_EQ(genome[s.rpos + i], read[s.qpos + i]);
+      EXPECT_LT(genome[s.rpos + i], seq::kBaseN);  // N never seeds
+    }
+  }
+}
+
+void expect_seeds_maximal(const std::vector<Seed>& seeds,
+                          const std::vector<seq::BaseCode>& genome,
+                          const std::vector<seq::BaseCode>& read) {
+  auto matches = [](seq::BaseCode a, seq::BaseCode b) { return a == b && a < 4; };
+  for (const Seed& s : seeds) {
+    if (s.qpos > 0 && s.rpos > 0) {
+      EXPECT_FALSE(matches(genome[s.rpos - 1], read[s.qpos - 1])) << "extendable left";
+    }
+    if (s.qpos + s.len < read.size() && s.rpos + s.len < genome.size()) {
+      EXPECT_FALSE(matches(genome[s.rpos + s.len], read[s.qpos + s.len]))
+          << "extendable right";
+    }
+  }
+}
+
+struct Fixture {
+  std::vector<seq::BaseCode> genome;
+  std::vector<seq::BaseCode> read;
+  std::size_t planted_pos;
+
+  static Fixture make(std::uint64_t seed, std::size_t genome_len, std::size_t read_len,
+                      double mutate_rate) {
+    util::Xoshiro256 rng(seed);
+    Fixture f;
+    f.genome = saloba::testing::random_seq(rng, genome_len);
+    f.planted_pos = rng.below(genome_len - read_len);
+    f.read.assign(f.genome.begin() + static_cast<std::ptrdiff_t>(f.planted_pos),
+                  f.genome.begin() + static_cast<std::ptrdiff_t>(f.planted_pos + read_len));
+    f.read = saloba::testing::mutate(rng, f.read, mutate_rate);
+    return f;
+  }
+};
+
+TEST(KmerSeeding, FindsPlantedExactRead) {
+  auto f = Fixture::make(141, 20000, 100, 0.0);
+  KmerIndex index(f.genome, 16);
+  SeedingParams params;
+  auto seeds = find_seeds(index, f.genome, f.read, params);
+  ASSERT_FALSE(seeds.empty());
+  bool found = false;
+  for (const Seed& s : seeds) {
+    found |= s.rpos == f.planted_pos && s.qpos == 0 && s.len == 100;
+  }
+  EXPECT_TRUE(found);
+  expect_seeds_are_exact_matches(seeds, f.genome, f.read);
+  expect_seeds_maximal(seeds, f.genome, f.read);
+}
+
+TEST(KmerSeeding, MutatedReadProducesShorterSeeds) {
+  auto f = Fixture::make(142, 20000, 200, 0.03);
+  KmerIndex index(f.genome, 16);
+  SeedingParams params;
+  auto seeds = find_seeds(index, f.genome, f.read, params);
+  ASSERT_FALSE(seeds.empty());
+  expect_seeds_are_exact_matches(seeds, f.genome, f.read);
+  expect_seeds_maximal(seeds, f.genome, f.read);
+  for (const Seed& s : seeds) {
+    EXPECT_GE(s.len, 19u);  // min_seed_len
+  }
+}
+
+TEST(KmerSeeding, NoDuplicateSeeds) {
+  auto f = Fixture::make(143, 10000, 150, 0.02);
+  KmerIndex index(f.genome, 12);
+  SeedingParams params;
+  params.min_seed_len = 12;
+  auto seeds = find_seeds(index, f.genome, f.read, params);
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> unique;
+  for (const Seed& s : seeds) unique.insert({s.qpos, s.rpos, s.len});
+  EXPECT_EQ(unique.size(), seeds.size());
+}
+
+TEST(KmerSeeding, RespectsMaxHits) {
+  // Highly repetitive genome: hits beyond the cap are skipped entirely.
+  std::vector<seq::BaseCode> genome;
+  for (int i = 0; i < 500; ++i) {
+    auto unit = seq::encode_string("ACGTACGTGGCCTTAA");
+    genome.insert(genome.end(), unit.begin(), unit.end());
+  }
+  KmerIndex index(genome, 16);
+  SeedingParams params;
+  params.max_hits = 4;
+  params.min_seed_len = 16;
+  std::vector<seq::BaseCode> read = seq::encode_string("ACGTACGTGGCCTTAAACGTACGTGGCCTTAA");
+  auto seeds = find_seeds(index, genome, read, params);
+  EXPECT_TRUE(seeds.empty());  // every k-mer exceeds the cap
+}
+
+TEST(FmSeeding, FindsPlantedExactRead) {
+  auto f = Fixture::make(144, 8000, 80, 0.0);
+  FmIndex index(f.genome);
+  SeedingParams params;
+  auto seeds = find_seeds_fm(index, f.read, params);
+  ASSERT_FALSE(seeds.empty());
+  bool found = false;
+  for (const Seed& s : seeds) {
+    found |= s.rpos == f.planted_pos && s.len == 80;
+  }
+  EXPECT_TRUE(found);
+  expect_seeds_are_exact_matches(seeds, f.genome, f.read);
+}
+
+TEST(FmSeeding, SeedsAreExactMatchesOnMutatedReads) {
+  auto f = Fixture::make(145, 8000, 150, 0.04);
+  FmIndex index(f.genome);
+  SeedingParams params;
+  params.min_seed_len = 15;
+  auto seeds = find_seeds_fm(index, f.read, params);
+  ASSERT_FALSE(seeds.empty());
+  expect_seeds_are_exact_matches(seeds, f.genome, f.read);
+}
+
+TEST(Seeding, ShortReadYieldsNothing) {
+  auto f = Fixture::make(146, 5000, 100, 0.0);
+  KmerIndex index(f.genome, 16);
+  SeedingParams params;
+  std::vector<seq::BaseCode> tiny = seq::encode_string("ACGT");
+  EXPECT_TRUE(find_seeds(index, f.genome, tiny, params).empty());
+}
+
+TEST(Seeding, SeedDiagonalHelper) {
+  Seed s{10, 100, 20};
+  EXPECT_EQ(s.diagonal(), 90);
+}
+
+}  // namespace
+}  // namespace saloba::seedext

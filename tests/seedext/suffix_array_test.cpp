@@ -1,0 +1,99 @@
+#include "seedext/suffix_array.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::seedext {
+namespace {
+
+void expect_valid_sa(const std::vector<seq::BaseCode>& text) {
+  auto sa = build_suffix_array(text);
+  auto naive = build_suffix_array_naive(text);
+  EXPECT_EQ(sa, naive);
+}
+
+TEST(SuffixArray, KnownSmallCase) {
+  // "banana"-style over bases: use GATTACA.
+  auto text = seq::encode_string("GATTACA");
+  auto sa = build_suffix_array(text);
+  auto naive = build_suffix_array_naive(text);
+  EXPECT_EQ(sa, naive);
+}
+
+TEST(SuffixArray, Empty) { EXPECT_TRUE(build_suffix_array({}).empty()); }
+
+TEST(SuffixArray, SingleCharacter) {
+  auto text = seq::encode_string("A");
+  auto sa = build_suffix_array(text);
+  ASSERT_EQ(sa.size(), 1u);
+  EXPECT_EQ(sa[0], 0);
+}
+
+TEST(SuffixArray, AllSameCharacter) {
+  std::vector<seq::BaseCode> text(50, seq::kBaseA);
+  auto sa = build_suffix_array(text);
+  // Shortest suffix sorts first when all chars equal.
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i], static_cast<std::int32_t>(49 - i));
+  }
+}
+
+TEST(SuffixArray, TandemRepeats) {
+  expect_valid_sa(seq::encode_string("ACGTACGTACGTACGT"));
+  expect_valid_sa(seq::encode_string("AAACCCAAACCCAAACCC"));
+}
+
+TEST(SuffixArray, WithNBases) {
+  expect_valid_sa(seq::encode_string("ACGNNNACGTNACG"));
+}
+
+class SuffixArrayRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SuffixArrayRandom, MatchesNaiveSort) {
+  util::Xoshiro256 rng(GetParam() * 7 + 1);
+  auto text = saloba::testing::random_seq(rng, GetParam());
+  expect_valid_sa(text);
+}
+
+TEST_P(SuffixArrayRandom, IsPermutationAndSorted) {
+  util::Xoshiro256 rng(GetParam() * 13 + 5);
+  auto text = saloba::testing::random_seq_with_n(rng, GetParam(), 0.1);
+  auto sa = build_suffix_array(text);
+  ASSERT_EQ(sa.size(), text.size());
+  std::set<std::int32_t> seen(sa.begin(), sa.end());
+  EXPECT_EQ(seen.size(), sa.size());  // permutation
+  for (std::size_t i = 1; i < sa.size(); ++i) {
+    std::span<const seq::BaseCode> a(text.data() + sa[i - 1],
+                                     text.size() - static_cast<std::size_t>(sa[i - 1]));
+    std::span<const seq::BaseCode> b(text.data() + sa[i],
+                                     text.size() - static_cast<std::size_t>(sa[i]));
+    EXPECT_TRUE(std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end()))
+        << "order violated at rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, SuffixArrayRandom,
+                         ::testing::Values(2, 3, 10, 33, 100, 257, 1000, 4096));
+
+TEST(SuffixArray, LargeInputCompletes) {
+  util::Xoshiro256 rng(77);
+  auto text = saloba::testing::random_seq(rng, 1 << 18);
+  auto sa = build_suffix_array(text);
+  EXPECT_EQ(sa.size(), text.size());
+  // Spot-check ordering at a few ranks.
+  for (std::size_t i : {1000u, 100000u, 200000u}) {
+    std::span<const seq::BaseCode> a(text.data() + sa[i - 1],
+                                     text.size() - static_cast<std::size_t>(sa[i - 1]));
+    std::span<const seq::BaseCode> b(text.data() + sa[i],
+                                     text.size() - static_cast<std::size_t>(sa[i]));
+    EXPECT_TRUE(std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+}  // namespace
+}  // namespace saloba::seedext

@@ -1,0 +1,66 @@
+#include "seq/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saloba::seq {
+namespace {
+
+TEST(Alphabet, EncodeCanonicalBases) {
+  EXPECT_EQ(encode_base('A'), kBaseA);
+  EXPECT_EQ(encode_base('c'), kBaseC);
+  EXPECT_EQ(encode_base('G'), kBaseG);
+  EXPECT_EQ(encode_base('t'), kBaseT);
+  EXPECT_EQ(encode_base('N'), kBaseN);
+}
+
+TEST(Alphabet, UracilMapsToT) {
+  EXPECT_EQ(encode_base('U'), kBaseT);
+  EXPECT_EQ(encode_base('u'), kBaseT);
+}
+
+TEST(Alphabet, UnknownCharsMapToN) {
+  for (char c : {'X', '-', '*', '1', ' '}) EXPECT_EQ(encode_base(c), kBaseN);
+}
+
+TEST(Alphabet, DecodeRoundTrip) {
+  for (BaseCode c = 0; c < kAlphabetSize; ++c) EXPECT_EQ(encode_base(decode_base(c)), c);
+}
+
+TEST(Alphabet, ComplementIsInvolutionOnACGT) {
+  for (BaseCode c = 0; c < 4; ++c) {
+    EXPECT_NE(complement(c), c);
+    EXPECT_EQ(complement(complement(c)), c);
+  }
+  EXPECT_EQ(complement(kBaseN), kBaseN);
+}
+
+TEST(Alphabet, ComplementPairs) {
+  EXPECT_EQ(complement(kBaseA), kBaseT);
+  EXPECT_EQ(complement(kBaseC), kBaseG);
+}
+
+TEST(Alphabet, EncodeDecodeString) {
+  auto codes = encode_string("ACGTNacgu");
+  EXPECT_EQ(decode_string(codes), "ACGTNACGT");
+}
+
+TEST(Alphabet, ReverseComplementKnownCase) {
+  auto codes = encode_string("AACGT");
+  EXPECT_EQ(decode_string(reverse_complement(codes)), "ACGTT");
+}
+
+TEST(Alphabet, ReverseComplementIsInvolution) {
+  auto codes = encode_string("ACGTACGTNNGATTACA");
+  EXPECT_EQ(reverse_complement(reverse_complement(codes)), codes);
+}
+
+TEST(Alphabet, ValidBaseChars) {
+  EXPECT_TRUE(is_valid_base_char('A'));
+  EXPECT_TRUE(is_valid_base_char('n'));
+  EXPECT_TRUE(is_valid_base_char('u'));
+  EXPECT_FALSE(is_valid_base_char('Z'));
+  EXPECT_FALSE(is_valid_base_char('@'));
+}
+
+}  // namespace
+}  // namespace saloba::seq

@@ -1,0 +1,108 @@
+#include "seq/fasta.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace saloba::seq {
+namespace {
+
+TEST(Fasta, ParsesMultiRecordInput) {
+  std::istringstream in(">seq1 description here\nACGT\nACGT\n>seq2\nTTTT\n");
+  auto seqs = read_fasta(in);
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0].name, "seq1");  // truncated at whitespace
+  EXPECT_EQ(seqs[0].to_string(), "ACGTACGT");
+  EXPECT_EQ(seqs[1].name, "seq2");
+  EXPECT_EQ(seqs[1].to_string(), "TTTT");
+}
+
+TEST(Fasta, ToleratesCrlfAndBlankLines) {
+  std::istringstream in(">a\r\nAC\r\n\r\nGT\r\n");
+  auto seqs = read_fasta(in);
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0].to_string(), "ACGT");
+}
+
+TEST(Fasta, RejectsDataBeforeHeader) {
+  std::istringstream in("ACGT\n>late\nAC\n");
+  EXPECT_THROW(read_fasta(in), std::runtime_error);
+}
+
+TEST(Fasta, WriteReadRoundTrip) {
+  std::vector<Sequence> seqs(2);
+  seqs[0].name = "alpha";
+  seqs[0].bases = encode_string(std::string(150, 'A') + std::string(37, 'G'));
+  seqs[1].name = "beta";
+  seqs[1].bases = encode_string("ACGTN");
+  std::ostringstream out;
+  write_fasta(out, seqs, 70);
+  std::istringstream in(out.str());
+  auto back = read_fasta(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].bases, seqs[0].bases);
+  EXPECT_EQ(back[1].bases, seqs[1].bases);
+}
+
+TEST(Fasta, LineWidthRespected) {
+  std::vector<Sequence> seqs(1);
+  seqs[0].name = "x";
+  seqs[0].bases = encode_string(std::string(100, 'C'));
+  std::ostringstream out;
+  write_fasta(out, seqs, 40);
+  std::istringstream check(out.str());
+  std::string line;
+  std::getline(check, line);  // header
+  std::getline(check, line);
+  EXPECT_EQ(line.size(), 40u);
+}
+
+TEST(Fastq, ParsesRecords) {
+  std::istringstream in("@r1 extra\nACGT\n+\nIIII\n@r2\nTT\n+r2\nJJ\n");
+  auto seqs = read_fastq(in);
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0].name, "r1");
+  EXPECT_EQ(seqs[0].to_string(), "ACGT");
+  EXPECT_EQ(seqs[0].quality, "IIII");
+  EXPECT_EQ(seqs[1].quality, "JJ");
+}
+
+TEST(Fastq, RejectsLengthMismatch) {
+  std::istringstream in("@r\nACGT\n+\nII\n");
+  EXPECT_THROW(read_fastq(in), std::runtime_error);
+}
+
+TEST(Fastq, RejectsMissingPlus) {
+  std::istringstream in("@r\nACGT\nIIII\nIIII\n");
+  EXPECT_THROW(read_fastq(in), std::runtime_error);
+}
+
+TEST(Fastq, WriteReadRoundTrip) {
+  std::vector<Sequence> seqs(1);
+  seqs[0].name = "q";
+  seqs[0].bases = encode_string("GATTACA");
+  seqs[0].quality = "ABCDEFG";
+  std::ostringstream out;
+  write_fastq(out, seqs);
+  std::istringstream in(out.str());
+  auto back = read_fastq(in);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].bases, seqs[0].bases);
+  EXPECT_EQ(back[0].quality, seqs[0].quality);
+}
+
+TEST(Fastq, SynthesisesQualityWhenMissing) {
+  std::vector<Sequence> seqs(1);
+  seqs[0].name = "q";
+  seqs[0].bases = encode_string("ACG");
+  std::ostringstream out;
+  write_fastq(out, seqs);
+  EXPECT_NE(out.str().find("III"), std::string::npos);
+}
+
+TEST(FastaFile, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/nonexistent/path.fa"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace saloba::seq

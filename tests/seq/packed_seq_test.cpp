@@ -1,0 +1,95 @@
+#include "seq/packed_seq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+
+namespace saloba::seq {
+namespace {
+
+class PackingRoundTrip : public ::testing::TestWithParam<Packing> {};
+
+TEST_P(PackingRoundTrip, RandomSequencesSurvive) {
+  util::Xoshiro256 rng(5);
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 31u, 32u, 33u, 250u}) {
+    auto codes = saloba::testing::random_seq(rng, len);
+    PackedSeq packed(codes, GetParam());
+    ASSERT_EQ(packed.size(), len);
+    EXPECT_EQ(packed.unpack(), codes);
+  }
+}
+
+TEST_P(PackingRoundTrip, BaseAccessorMatchesUnpack) {
+  util::Xoshiro256 rng(6);
+  auto codes = saloba::testing::random_seq(rng, 100);
+  PackedSeq packed(codes, GetParam());
+  for (std::size_t i = 0; i < codes.size(); ++i) EXPECT_EQ(packed.base(i), codes[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPackings, PackingRoundTrip,
+                         ::testing::Values(Packing::k2Bit, Packing::k4Bit, Packing::k8Bit));
+
+TEST(PackedSeq, BasesPerWord) {
+  EXPECT_EQ(bases_per_word(Packing::k2Bit), 16);
+  EXPECT_EQ(bases_per_word(Packing::k4Bit), 8);
+  EXPECT_EQ(bases_per_word(Packing::k8Bit), 4);
+}
+
+TEST(PackedSeq, FourBitWordLayoutMatchesPaper) {
+  // Eight bases exactly fill one 32-bit register word (paper Sec. II-B).
+  auto codes = encode_string("ACGTACGT");
+  PackedSeq packed(codes, Packing::k4Bit);
+  EXPECT_EQ(packed.words(), 1u);
+  // First base occupies the least-significant nibble.
+  EXPECT_EQ(packed.word(0) & 0xF, kBaseA);
+  EXPECT_EQ((packed.word(0) >> 4) & 0xF, kBaseC);
+}
+
+TEST(PackedSeq, TwoBitSubstitutesN) {
+  auto codes = encode_string("ANGN");
+  PackedSeq packed(codes, Packing::k2Bit, kBaseC);
+  auto unpacked = packed.unpack();
+  EXPECT_EQ(unpacked[0], kBaseA);
+  EXPECT_EQ(unpacked[1], kBaseC);  // N -> substitute
+  EXPECT_EQ(unpacked[2], kBaseG);
+  EXPECT_EQ(unpacked[3], kBaseC);
+}
+
+TEST(PackedSeq, ByteSizeTracksWords) {
+  auto codes = encode_string("ACGTACGTA");  // 9 bases -> 2 words at 4-bit
+  PackedSeq packed(codes, Packing::k4Bit);
+  EXPECT_EQ(packed.words(), 2u);
+  EXPECT_EQ(packed.byte_size(), 8u);
+}
+
+TEST(PackedBatch, SequencesStartWordAligned) {
+  util::Xoshiro256 rng(7);
+  std::vector<std::vector<BaseCode>> seqs;
+  for (std::size_t len : {5u, 8u, 13u}) seqs.push_back(saloba::testing::random_seq(rng, len));
+  PackedBatch batch = pack_batch(seqs, Packing::k4Bit);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.word_offset[0], 0u);
+  EXPECT_EQ(batch.word_offset[1], 1u);  // 5 bases -> 1 word
+  EXPECT_EQ(batch.word_offset[2], 2u);  // 8 bases -> 1 word
+  for (std::size_t s = 0; s < seqs.size(); ++s) {
+    ASSERT_EQ(batch.length[s], seqs[s].size());
+    for (std::size_t i = 0; i < seqs[s].size(); ++i) EXPECT_EQ(batch.base(s, i), seqs[s][i]);
+  }
+}
+
+TEST(PackedBatch, WordCountPerSequence) {
+  std::vector<std::vector<BaseCode>> seqs{encode_string("ACGTACGTA")};
+  PackedBatch batch = pack_batch(seqs, Packing::k4Bit);
+  EXPECT_EQ(batch.word_count(0), 2u);
+}
+
+TEST(PackedSeq, ExtractBaseFreeFunction) {
+  auto codes = encode_string("TGCA");
+  PackedSeq packed(codes, Packing::k8Bit);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(extract_base(packed.data(), i, Packing::k8Bit), codes[i]);
+  }
+}
+
+}  // namespace
+}  // namespace saloba::seq

@@ -1,0 +1,85 @@
+#include "seq/random_genome.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace saloba::seq {
+namespace {
+
+GenomeParams small_params() {
+  GenomeParams p;
+  p.length = 100000;
+  return p;
+}
+
+TEST(RandomGenome, ProducesRequestedLength) {
+  auto g = generate_genome(small_params());
+  EXPECT_EQ(g.size(), 100000u);
+}
+
+TEST(RandomGenome, DeterministicInSeed) {
+  auto a = generate_genome(small_params());
+  auto b = generate_genome(small_params());
+  EXPECT_EQ(a, b);
+  GenomeParams other = small_params();
+  other.seed = 1234;
+  EXPECT_NE(generate_genome(other), a);
+}
+
+TEST(RandomGenome, GcContentNearTarget) {
+  GenomeParams p = small_params();
+  p.repeat_fraction = 0.0;
+  p.n_fraction = 0.0;
+  auto g = generate_genome(p);
+  std::size_t gc = 0;
+  for (auto b : g) gc += (b == kBaseG || b == kBaseC);
+  double frac = static_cast<double>(gc) / static_cast<double>(g.size());
+  EXPECT_NEAR(frac, p.gc_content, 0.02);
+}
+
+TEST(RandomGenome, ContainsNRuns) {
+  GenomeParams p = small_params();
+  p.n_fraction = 0.01;
+  auto g = generate_genome(p);
+  std::size_t ns = 0;
+  for (auto b : g) ns += (b == kBaseN);
+  EXPECT_GT(ns, g.size() / 500);
+}
+
+TEST(RandomGenome, ZeroNFractionHasNoN) {
+  GenomeParams p = small_params();
+  p.n_fraction = 0.0;
+  auto g = generate_genome(p);
+  for (auto b : g) ASSERT_NE(b, kBaseN);
+}
+
+TEST(RandomGenome, RepeatsRaiseDuplicateKmerRate) {
+  auto count_duplicate_32mers = [](const std::vector<BaseCode>& g) {
+    std::set<std::string> seen;
+    std::size_t dups = 0;
+    for (std::size_t i = 0; i + 32 <= g.size(); i += 32) {
+      std::string key(g.begin() + static_cast<std::ptrdiff_t>(i),
+                      g.begin() + static_cast<std::ptrdiff_t>(i + 32));
+      if (!seen.insert(key).second) ++dups;
+    }
+    return dups;
+  };
+  GenomeParams with = small_params();
+  with.repeat_fraction = 0.3;
+  with.n_fraction = 0.0;
+  GenomeParams without = small_params();
+  without.repeat_fraction = 0.0;
+  without.n_fraction = 0.0;
+  EXPECT_GT(count_duplicate_32mers(generate_genome(with)),
+            count_duplicate_32mers(generate_genome(without)));
+}
+
+TEST(RandomGenomeDeath, RejectsTinyGenome) {
+  GenomeParams p;
+  p.length = 10;
+  EXPECT_DEATH(generate_genome(p), "at least 1 kbp");
+}
+
+}  // namespace
+}  // namespace saloba::seq

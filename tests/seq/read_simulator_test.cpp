@@ -1,0 +1,142 @@
+#include "seq/read_simulator.hpp"
+
+#include "align/sw_reference.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "seq/random_genome.hpp"
+#include "util/stats.hpp"
+
+namespace saloba::seq {
+namespace {
+
+std::vector<BaseCode> test_genome() {
+  GenomeParams p;
+  p.length = 200000;
+  p.n_fraction = 0.0;
+  return generate_genome(p);
+}
+
+TEST(ReadSimulator, EqualLengthProfileExact) {
+  ReadSimulator sim(test_genome(), ReadProfile::equal_length(128), 1);
+  for (const auto& r : sim.simulate(50)) {
+    EXPECT_EQ(r.true_len, 128u);
+  }
+}
+
+TEST(ReadSimulator, IlluminaProfileFixedLength) {
+  ReadSimulator sim(test_genome(), ReadProfile::illumina_250bp(), 1);
+  auto reads = sim.simulate(100);
+  for (const auto& r : reads) {
+    EXPECT_EQ(r.true_len, 250u);
+    // Low error rate: read length stays near 250.
+    EXPECT_NEAR(static_cast<double>(r.read.size()), 250.0, 25.0);
+  }
+}
+
+TEST(ReadSimulator, PacbioProfileVariableLengths) {
+  ReadSimulator sim(test_genome(), ReadProfile::pacbio_2kbp(), 1);
+  auto reads = sim.simulate(300);
+  std::vector<double> lens;
+  for (const auto& r : reads) lens.push_back(static_cast<double>(r.true_len));
+  // Long-read profile: wide spread (Fig. 2 (c)/(d) shape) around ~2 kbp.
+  EXPECT_GT(util::coeff_variation(lens), 0.25);
+  EXPECT_GT(util::mean(lens), 1000.0);
+  EXPECT_LT(util::mean(lens), 4000.0);
+  for (const auto& r : reads) {
+    EXPECT_GE(r.true_len, 200u);
+    EXPECT_LE(r.true_len, 20000u);
+  }
+}
+
+TEST(ReadSimulator, ErrorFreeForwardReadsAreExactSubstrings) {
+  auto genome = test_genome();
+  ReadProfile p = ReadProfile::equal_length(100);
+  p.mutation_rate = 0.0;
+  p.error_rate = 0.0;
+  p.sample_both_strands = false;
+  ReadSimulator sim(genome, p, 2);
+  for (const auto& r : sim.simulate(20)) {
+    ASSERT_EQ(r.read.size(), 100u);
+    EXPECT_FALSE(r.reverse_strand);
+    std::vector<BaseCode> window(
+        genome.begin() + static_cast<std::ptrdiff_t>(r.true_pos),
+        genome.begin() + static_cast<std::ptrdiff_t>(r.true_pos + 100));
+    EXPECT_EQ(r.read.bases, window);
+  }
+}
+
+TEST(ReadSimulator, ReverseStrandReadsAreReverseComplements) {
+  auto genome = test_genome();
+  ReadProfile p = ReadProfile::equal_length(80);
+  p.mutation_rate = 0.0;
+  p.error_rate = 0.0;
+  ReadSimulator sim(genome, p, 3);
+  bool saw_reverse = false;
+  for (const auto& r : sim.simulate(50)) {
+    std::vector<BaseCode> window(
+        genome.begin() + static_cast<std::ptrdiff_t>(r.true_pos),
+        genome.begin() + static_cast<std::ptrdiff_t>(r.true_pos + r.true_len));
+    if (r.reverse_strand) {
+      saw_reverse = true;
+      EXPECT_EQ(r.read.bases, reverse_complement(window));
+    } else {
+      EXPECT_EQ(r.read.bases, window);
+    }
+  }
+  EXPECT_TRUE(saw_reverse);
+}
+
+TEST(ReadSimulator, DeterministicInSeed) {
+  auto genome = test_genome();
+  ReadSimulator a(genome, ReadProfile::illumina_250bp(), 99);
+  ReadSimulator b(genome, ReadProfile::illumina_250bp(), 99);
+  auto ra = a.simulate(10);
+  auto rb = b.simulate(10);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].read.bases, rb[i].read.bases);
+    EXPECT_EQ(ra[i].true_pos, rb[i].true_pos);
+  }
+}
+
+TEST(ReadSimulator, HighErrorRateChangesRead) {
+  auto genome = test_genome();
+  ReadProfile p = ReadProfile::equal_length(500);
+  p.error_rate = 0.15;
+  p.error_indel_fraction = 0.5;
+  p.sample_both_strands = false;
+  ReadSimulator sim(genome, p, 4);
+  auto r = sim.simulate_one();
+  std::vector<BaseCode> window(genome.begin() + static_cast<std::ptrdiff_t>(r.true_pos),
+                               genome.begin() + static_cast<std::ptrdiff_t>(r.true_pos + 500));
+  EXPECT_NE(r.read.bases, window);
+}
+
+TEST(EqualLengthBatch, ShapesAreExact) {
+  auto genome = test_genome();
+  auto batch = make_equal_length_batch(genome, 256, 10, 0.01, 5);
+  ASSERT_EQ(batch.size(), 10u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch.queries[i].size(), 256u);
+    EXPECT_EQ(batch.refs[i].size(), 256u);
+  }
+  EXPECT_EQ(batch.total_cells(), 10u * 256 * 256);
+}
+
+TEST(EqualLengthBatch, QueriesResembleRefs) {
+  // Indels shift positions, so measure similarity via alignment score
+  // rather than positional identity: a 1%-divergent query should align to
+  // its reference with a near-full-length local score.
+  auto genome = test_genome();
+  auto batch = make_equal_length_batch(genome, 128, 5, 0.01, 6);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto r = align::smith_waterman(batch.refs[i], batch.queries[i],
+                                   align::ScoringScheme{});
+    EXPECT_GT(r.score, 90);
+  }
+}
+
+}  // namespace
+}  // namespace saloba::seq

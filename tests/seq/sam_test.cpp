@@ -1,0 +1,101 @@
+#include "seq/sam.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace saloba::seq {
+namespace {
+
+SamHeader test_header() {
+  SamHeader h;
+  h.reference_name = "chrT";
+  h.reference_length = 12345;
+  h.command_line = "saloba test";
+  return h;
+}
+
+TEST(Sam, HeaderLinesEmitted) {
+  std::ostringstream out;
+  SamWriter writer(out, test_header());
+  std::string text = out.str();
+  EXPECT_NE(text.find("@HD\tVN:1.6"), std::string::npos);
+  EXPECT_NE(text.find("@SQ\tSN:chrT\tLN:12345"), std::string::npos);
+  EXPECT_NE(text.find("@PG\tID:saloba"), std::string::npos);
+  EXPECT_NE(text.find("CL:saloba test"), std::string::npos);
+}
+
+TEST(Sam, RecordFieldsInOrder) {
+  std::ostringstream out;
+  SamWriter writer(out, test_header());
+  SamRecord r;
+  r.qname = "read1";
+  r.rname = "chrT";
+  r.pos = 42;
+  r.mapq = 60;
+  r.cigar = "10M";
+  r.seq = "ACGTACGTAC";
+  r.tags.push_back("AS:i:10");
+  writer.write(r);
+  EXPECT_NE(out.str().find("read1\t0\tchrT\t42\t60\t10M\t*\t0\t0\tACGTACGTAC\t*\tAS:i:10"),
+            std::string::npos);
+  EXPECT_EQ(writer.records_written(), 1u);
+}
+
+TEST(Sam, UnmappedRecordUsesStars) {
+  std::ostringstream out;
+  SamWriter writer(out, test_header());
+  SamRecord r;
+  r.qname = "lost";
+  r.flags = SamRecord::kFlagUnmapped;
+  r.seq = "ACGT";
+  writer.write(r);
+  EXPECT_NE(out.str().find("lost\t4\t*\t0\t0\t*\t*\t0\t0\tACGT\t*"), std::string::npos);
+}
+
+TEST(Sam, RoundTripThroughReader) {
+  std::ostringstream out;
+  SamWriter writer(out, test_header());
+  SamRecord a;
+  a.qname = "r1";
+  a.rname = "chrT";
+  a.pos = 100;
+  a.mapq = 37;
+  a.cigar = "5M2I3M";
+  a.seq = "ACGTACGTAC";
+  a.qual = "IIIIIIIIII";
+  a.flags = SamRecord::kFlagReverse;
+  a.tags = {"AS:i:7", "NM:i:2"};
+  writer.write(a);
+
+  std::istringstream in(out.str());
+  auto records = read_sam(in);
+  ASSERT_EQ(records.size(), 1u);
+  const auto& b = records[0];
+  EXPECT_EQ(b.qname, "r1");
+  EXPECT_EQ(b.flags, SamRecord::kFlagReverse);
+  EXPECT_EQ(b.pos, 100u);
+  EXPECT_EQ(b.mapq, 37);
+  EXPECT_EQ(b.cigar, "5M2I3M");
+  EXPECT_EQ(b.seq, "ACGTACGTAC");
+  EXPECT_EQ(b.qual, "IIIIIIIIII");
+  ASSERT_EQ(b.tags.size(), 2u);
+  EXPECT_EQ(b.tags[0], "AS:i:7");
+}
+
+TEST(Sam, ReaderSkipsHeaderAndRejectsGarbage) {
+  std::istringstream ok("@HD\tVN:1.6\nr\t0\tc\t1\t0\t4M\t*\t0\t0\tACGT\t*\n");
+  EXPECT_EQ(read_sam(ok).size(), 1u);
+  std::istringstream bad("r\t0\tc\n");
+  EXPECT_THROW(read_sam(bad), std::runtime_error);
+}
+
+TEST(SamDeath, EmptyQnameRejected) {
+  std::ostringstream out;
+  SamWriter writer(out, test_header());
+  SamRecord r;
+  EXPECT_DEATH(writer.write(r), "QNAME");
+}
+
+}  // namespace
+}  // namespace saloba::seq

@@ -1,0 +1,82 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saloba::util {
+namespace {
+
+char** make_argv(std::vector<std::string>& storage) {
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  for (auto& s : storage) ptrs.push_back(s.data());
+  return ptrs.data();
+}
+
+TEST(Args, ParsesAllTypes) {
+  ArgParser p("prog", "test");
+  p.add_int("count", "", 1);
+  p.add_double("rate", "", 0.5);
+  p.add_string("name", "", "x");
+  p.add_flag("verbose", "");
+  std::vector<std::string> argv{"prog", "--count=7", "--rate", "2.5", "--name=abc",
+                                "--verbose"};
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), make_argv(argv)));
+  EXPECT_EQ(p.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 2.5);
+  EXPECT_EQ(p.get_string("name"), "abc");
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(Args, DefaultsApplyWhenAbsent) {
+  ArgParser p("prog", "test");
+  p.add_int("n", "", 42);
+  p.add_flag("f", "");
+  std::vector<std::string> argv{"prog"};
+  ASSERT_TRUE(p.parse(1, make_argv(argv)));
+  EXPECT_EQ(p.get_int("n"), 42);
+  EXPECT_FALSE(p.get_flag("f"));
+}
+
+TEST(Args, UnknownFlagFails) {
+  ArgParser p("prog", "test");
+  std::vector<std::string> argv{"prog", "--bogus"};
+  EXPECT_FALSE(p.parse(2, make_argv(argv)));
+}
+
+TEST(Args, HelpReturnsFalse) {
+  ArgParser p("prog", "test");
+  std::vector<std::string> argv{"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, make_argv(argv)));
+}
+
+TEST(Args, CollectsPositionals) {
+  ArgParser p("prog", "test");
+  std::vector<std::string> argv{"prog", "one", "two"};
+  ASSERT_TRUE(p.parse(3, make_argv(argv)));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "one");
+}
+
+TEST(Args, MissingValueFails) {
+  ArgParser p("prog", "test");
+  p.add_int("n", "", 0);
+  std::vector<std::string> argv{"prog", "--n"};
+  EXPECT_FALSE(p.parse(2, make_argv(argv)));
+}
+
+TEST(Args, UsageListsFlags) {
+  ArgParser p("prog", "my description");
+  p.add_int("alpha", "the alpha", 3);
+  std::string u = p.usage();
+  EXPECT_NE(u.find("--alpha"), std::string::npos);
+  EXPECT_NE(u.find("my description"), std::string::npos);
+  EXPECT_NE(u.find("default: 3"), std::string::npos);
+}
+
+TEST(ArgsDeath, UndeclaredAccessAborts) {
+  ArgParser p("prog", "test");
+  EXPECT_DEATH(p.get_int("nope"), "undeclared");
+}
+
+}  // namespace
+}  // namespace saloba::util

@@ -1,0 +1,49 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace saloba::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::string path = ::testing::TempDir() + "saloba_csv_test.csv";
+  {
+    CsvWriter csv(path, {"len", "time_ms"});
+    csv.add_row({"64", "0.5"});
+    csv.add_row({"128", "1.0"});
+  }
+  EXPECT_EQ(slurp(path), "len,time_ms\n64,0.5\n128,1.0\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+}
+
+TEST(CsvDeath, RejectsWrongArity) {
+  std::string path = ::testing::TempDir() + "saloba_csv_arity.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_DEATH(csv.add_row({"1"}), "arity");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace saloba::util

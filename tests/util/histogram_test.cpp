@@ -1,0 +1,54 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saloba::util {
+namespace {
+
+TEST(Histogram, BucketsValuesCorrectly) {
+  Histogram h(0, 100, 25);  // 4 buckets + overflow
+  ASSERT_EQ(h.bucket_count(), 5u);
+  h.add(0);
+  h.add(24.9);
+  h.add(25);
+  h.add(99.9);
+  h.add(100);   // overflow
+  h.add(500);   // overflow
+  h.add(-1);    // underflow
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, BucketEdges) {
+  Histogram h(50, 250, 50);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 50.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 100.0);
+}
+
+TEST(Histogram, AddNCountsInBulk) {
+  Histogram h(0, 10, 5);
+  h.add_n(1.0, 42);
+  EXPECT_EQ(h.bucket(0), 42u);
+  EXPECT_EQ(h.total(), 42u);
+}
+
+TEST(Histogram, RenderShowsCountsAndBars) {
+  Histogram h(0, 20, 10);
+  h.add_n(5, 10);
+  h.add_n(15, 5);
+  std::string r = h.render(20);
+  EXPECT_NE(r.find("10"), std::string::npos);
+  EXPECT_NE(r.find("####"), std::string::npos);
+  EXPECT_NE(r.find("+"), std::string::npos);  // overflow label
+}
+
+TEST(HistogramDeath, RejectsBadBounds) {
+  EXPECT_DEATH(Histogram(10, 5, 1), "bad histogram bounds");
+}
+
+}  // namespace
+}  // namespace saloba::util

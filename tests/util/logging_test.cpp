@@ -1,0 +1,45 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saloba::util {
+namespace {
+
+TEST(Logging, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+}
+
+TEST(Logging, LevelNamesRoundTrip) {
+  for (LogLevel level : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+}
+
+TEST(Logging, SetAndGetLevel) {
+  LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(original);
+}
+
+TEST(Logging, MacroRespectsLevel) {
+  LogLevel original = log_level();
+  set_log_level(LogLevel::kOff);
+  // Would abort/flood if emitted; mainly checks the macro compiles and the
+  // guard short-circuits.
+  SALOBA_INFO("this must not be emitted " << 42);
+  SALOBA_ERROR("neither this " << 3.14);
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace saloba::util

@@ -1,0 +1,77 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace saloba::util {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{7.5}), 7.5);
+}
+
+TEST(Stats, GeomeanMatchesHandComputed) {
+  std::vector<double> xs{1, 4, 16};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+  EXPECT_NEAR(geomean(std::vector<double>{2.26, 2.85}),
+              std::sqrt(2.26 * 2.85), 1e-12);  // the paper's Sec.V-D geomean
+}
+
+TEST(Stats, StddevSampleConvention) {
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, MedianAndPercentiles) {
+  std::vector<double> xs{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{10.0, 20.0}, 50), 15.0);
+}
+
+TEST(Stats, MinMax) {
+  std::vector<double> xs{3, -1, 7};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+}
+
+TEST(Stats, CoefficientOfVariation) {
+  std::vector<double> flat{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(coeff_variation(flat), 0.0);
+  std::vector<double> spread{1, 9};
+  EXPECT_GT(coeff_variation(spread), 0.5);
+}
+
+TEST(Stats, RunningMatchesBatchOnRandomData) {
+  Xoshiro256 rng(11);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform() * 100 - 50;
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_of(xs));
+}
+
+TEST(StatsDeath, GeomeanRejectsNonPositive) {
+  std::vector<double> xs{1.0, 0.0};
+  EXPECT_DEATH(geomean(xs), "geomean requires positive");
+}
+
+}  // namespace
+}  // namespace saloba::util

@@ -1,0 +1,48 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saloba::util {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"kernel", "time"});
+  t.add_row({"GASAL2", "1.00"});
+  t.add_row({"SALoBa", "0.70"});
+  std::string r = t.render();
+  EXPECT_NE(r.find("kernel"), std::string::npos);
+  EXPECT_NE(r.find("GASAL2"), std::string::npos);
+  EXPECT_NE(r.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsPadToWidestCell) {
+  Table t({"a"});
+  t.add_row({"looooooooong"});
+  std::string r = t.render();
+  // Header line must be as wide as the data line.
+  auto nl = r.find('\n');
+  auto second = r.find('\n', nl + 1);
+  auto third = r.find('\n', second + 1);
+  EXPECT_EQ(nl, second - nl - 1 == 0 ? nl : r.find('\n'));  // lines exist
+  EXPECT_EQ(r.substr(0, nl).size(), r.substr(second + 1, third - second - 1).size());
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, MsFormatsAdaptively) {
+  EXPECT_NE(Table::ms(0.05).find("us"), std::string::npos);
+  EXPECT_NE(Table::ms(5.0).find("ms"), std::string::npos);
+  EXPECT_NE(Table::ms(500.0).find("ms"), std::string::npos);
+}
+
+TEST(TableDeath, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "arity");
+}
+
+}  // namespace
+}  // namespace saloba::util

@@ -1,0 +1,62 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.hpp"
+
+namespace saloba::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForTouchesEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksPartitionExactly) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for_chunks(107, [&](std::size_t b, std::size_t e) {
+    ASSERT_LE(b, e);
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 107u);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, DefaultSizeUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelFor, IndexedCoversRange) {
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for_indexed(500, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, DeterministicOutputSlots) {
+  std::vector<int> out(2000, -1);
+  parallel_for_indexed(2000, [&](std::size_t i) { out[i] = static_cast<int>(i * 3); });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], static_cast<int>(i * 3));
+}
+
+}  // namespace
+}  // namespace saloba::util
