@@ -28,13 +28,10 @@ namespace saloba::bench {
 
 inline constexpr std::size_t kNominalPairs = 5000;  // paper Sec. V-B
 
-/// Kernel factory with paper-scale footprint checks baked in.
+/// Kernel factory with paper-scale footprint checks baked in: every kernel
+/// is constructed through the registry with nominal_pairs = 5000.
 inline kernels::KernelPtr make_paper_kernel(const std::string& name) {
-  if (name == "gasal2") return kernels::make_gasal2_like(kNominalPairs);
-  if (name == "nvbio") return kernels::make_nvbio_like(kNominalPairs);
-  if (name == "soap3-dp") return kernels::make_soap3dp_like(kNominalPairs);
-  if (name == "cushaw2-gpu") return kernels::make_cushaw2_like(kNominalPairs);
-  return kernels::make_kernel(name);
+  return kernels::make_kernel(name, kNominalPairs);
 }
 
 struct RunOutcome {

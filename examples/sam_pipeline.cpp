@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/aligner.hpp"
 #include "core/autotune.hpp"
 #include "core/workload.hpp"
 #include "seedext/sam_output.hpp"
@@ -53,9 +54,15 @@ int main(int argc, char** argv) {
   std::printf("loaded %zu bp reference and %zu reads from %s\n",
               reference[0].bases.size(), reads.size(), dir.c_str());
 
-  // 4. Map and write SAM.
+  // 4. Map (extensions batched through the public Aligner/scheduler path,
+  // as a production pipeline would hand them to the GPU) and write SAM.
   seedext::ReadMapper mapper(reference[0].bases, seedext::MapperParams{});
+  std::vector<std::vector<seq::BaseCode>> read_seqs;
+  for (const auto& r : reads) read_seqs.push_back(r.bases);
+  core::Aligner extension_aligner{core::AlignerOptions{}};  // CPU backend
   util::Timer timer;
+  auto mappings = mapper.map_batch(read_seqs, extension_aligner.batch_extender());
+
   std::ofstream sam_file(dir / "alignments.sam");
   seq::SamHeader header;
   header.reference_name = reference[0].name;
@@ -64,17 +71,14 @@ int main(int argc, char** argv) {
   seq::SamWriter writer(sam_file, header);
 
   std::size_t mapped = 0;
-  for (const auto& read : reads) {
-    auto mapping = mapper.map(read.bases);
-    mapped += mapping.mapped;
-    writer.write(seedext::to_sam_record(mapper, read, mapping, reference[0].name));
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    mapped += mappings[i].mapped;
+    writer.write(seedext::to_sam_record(mapper, reads[i], mappings[i], reference[0].name));
   }
   std::printf("mapped %zu/%zu reads in %.1f ms -> %s\n", mapped, reads.size(),
               timer.millis(), (dir / "alignments.sam").c_str());
 
   // 5. Report what the autotuner would pick for this workload's extensions.
-  std::vector<std::vector<seq::BaseCode>> read_seqs;
-  for (const auto& r : reads) read_seqs.push_back(r.bases);
   auto jobs = mapper.collect_jobs(read_seqs);
   core::DatasetStats stats;
   stats.jobs = jobs.size();

@@ -1,67 +1,33 @@
 #include "core/aligner.hpp"
 
-#include <stdexcept>
-
-#include "align/batch.hpp"
-#include "kernels/baselines.hpp"
-#include "kernels/saloba_kernel.hpp"
+#include "gpusim/device_registry.hpp"
 #include "util/check.hpp"
 
 namespace saloba::core {
-namespace {
-
-kernels::KernelPtr build_kernel(const std::string& name, std::size_t nominal) {
-  // Route through the registry, then re-apply nominal batch size for the
-  // footprint-sensitive baselines.
-  if (nominal == 0) return kernels::make_kernel(name);
-  if (name == "gasal2") return kernels::make_gasal2_like(nominal);
-  if (name == "nvbio") return kernels::make_nvbio_like(nominal);
-  if (name == "soap3-dp" || name == "soap3dp") return kernels::make_soap3dp_like(nominal);
-  if (name == "cushaw2-gpu" || name == "cushaw2") return kernels::make_cushaw2_like(nominal);
-  return kernels::make_kernel(name);
-}
-
-}  // namespace
 
 Aligner::Aligner(AlignerOptions options) : options_(std::move(options)) {
   SALOBA_CHECK_MSG(options_.scoring.valid(), "invalid scoring scheme");
-  if (options_.backend == Backend::kSimulated) {
-    device_ = std::make_unique<gpusim::Device>(device_by_name(options_.device));
-    kernel_ = build_kernel(options_.kernel, options_.nominal_batch_pairs);
-  }
+  backend_ = make_backend(options_);
+  SchedulerOptions sched;
+  sched.max_shard_pairs = options_.max_shard_pairs;
+  sched.policy = options_.split_policy;
+  sched.threads = options_.scheduler_threads;
+  scheduler_ = std::make_unique<BatchScheduler>(backend_.get(), sched);
 }
 
 Aligner::~Aligner() = default;
 Aligner::Aligner(Aligner&&) noexcept = default;
 Aligner& Aligner::operator=(Aligner&&) noexcept = default;
 
-AlignOutput Aligner::align(const seq::PairBatch& batch) {
-  AlignOutput out;
-  out.cells = batch.total_cells();
-  if (options_.backend == Backend::kCpu) {
-    align::BatchTiming timing;
-    out.results = align::align_batch(batch, options_.scoring, &timing);
-    out.time_ms = timing.wall_ms;
-    out.gcups = timing.gcups;
-    return out;
-  }
-  kernels::KernelResult kr = kernel_->run(*device_, batch, options_.scoring);
-  out.results = std::move(kr.results);
-  out.time_ms = kr.time.total_ms;
-  out.gcups = out.time_ms > 0
-                  ? static_cast<double>(out.cells) / (out.time_ms * 1e6)
-                  : 0.0;
-  out.kernel_stats = kr.stats;
-  out.time_breakdown = kr.time;
-  return out;
+AlignOutput Aligner::align(const seq::PairBatch& batch) { return scheduler_->run(batch); }
+
+std::function<std::vector<align::AlignmentResult>(const seq::PairBatch&)>
+Aligner::batch_extender() {
+  return [this](const seq::PairBatch& batch) { return align(batch).results; };
 }
 
 gpusim::DeviceSpec Aligner::device_by_name(const std::string& name) {
-  if (name == "gtx1650" || name == "GTX1650") return gpusim::DeviceSpec::gtx1650();
-  if (name == "rtx3090" || name == "RTX3090") return gpusim::DeviceSpec::rtx3090();
-  if (name == "p100" || name == "P100") return gpusim::DeviceSpec::pascal_p100();
-  if (name == "v100" || name == "V100") return gpusim::DeviceSpec::volta_v100();
-  throw std::invalid_argument("unknown device preset: " + name);
+  return gpusim::device_by_name(name);
 }
 
 }  // namespace saloba::core

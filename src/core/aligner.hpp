@@ -6,33 +6,29 @@
 //
 // Switching `opts.backend` to kSimulated runs the same batch through any of
 // the reproduced GPU kernels on a simulated device and reports simulated
-// kernel time plus the execution counters behind it.
+// kernel time plus the execution counters behind it. Setting `opts.devices`
+// and/or `opts.max_shard_pairs` makes the BatchScheduler shard the batch
+// into length-bucketed sub-batches and dispatch them asynchronously across
+// several simulated devices (Sec. VII-C), merging results back in input
+// order. Every align() call is routed
+//
+//   Aligner → BatchScheduler → AlignBackend → kernels → gpusim
+//
+// (see ARCHITECTURE.md).
 #pragma once
 
+#include <functional>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "align/alignment_result.hpp"
+#include "core/backend.hpp"
 #include "core/options.hpp"
-#include "gpusim/device.hpp"
-#include "kernels/kernel_iface.hpp"
+#include "core/scheduler.hpp"
 #include "seq/sequence.hpp"
 
 namespace saloba::core {
-
-struct AlignOutput {
-  std::vector<align::AlignmentResult> results;
-  /// Wall-clock milliseconds for the CPU backend; simulated kernel
-  /// milliseconds for the simulated backend.
-  double time_ms = 0.0;
-  std::size_t cells = 0;
-  double gcups = 0.0;  ///< giga cell-updates per second at `time_ms`
-  /// Simulated backend only.
-  std::optional<gpusim::KernelStats> kernel_stats;
-  std::optional<gpusim::TimeBreakdown> time_breakdown;
-};
 
 class Aligner {
  public:
@@ -42,20 +38,26 @@ class Aligner {
   Aligner& operator=(Aligner&&) noexcept;
 
   const AlignerOptions& options() const { return options_; }
+  const AlignBackend& backend() const { return *backend_; }
 
-  /// Aligns every (query, reference) pair in the batch.
-  /// Simulated backend may throw kernels::KernelUnsupportedError or
-  /// gpusim::DeviceOomError, faithfully to the modelled library.
+  /// Aligns every (query, reference) pair in the batch through the
+  /// scheduler. Simulated backend may throw kernels::KernelUnsupportedError
+  /// or gpusim::DeviceOomError, faithfully to the modelled library.
   AlignOutput align(const seq::PairBatch& batch);
 
-  /// Resolves a device preset by name; throws std::invalid_argument on
-  /// unknown names.
+  /// Adapter for pipeline stages (seedext::BatchExtender-compatible):
+  /// aligns batches through this aligner's scheduler and returns just the
+  /// per-pair results. The aligner must outlive the returned function.
+  std::function<std::vector<align::AlignmentResult>(const seq::PairBatch&)> batch_extender();
+
+  /// Resolves a device preset by name (see gpusim::device_by_name); throws
+  /// std::invalid_argument listing the valid presets on unknown names.
   static gpusim::DeviceSpec device_by_name(const std::string& name);
 
  private:
   AlignerOptions options_;
-  std::unique_ptr<gpusim::Device> device_;      // simulated backend only
-  kernels::KernelPtr kernel_;                   // simulated backend only
+  std::unique_ptr<AlignBackend> backend_;
+  std::unique_ptr<BatchScheduler> scheduler_;
 };
 
 }  // namespace saloba::core

@@ -1,0 +1,54 @@
+#include "core/backend.hpp"
+
+#include "align/batch.hpp"
+#include "gpusim/device_registry.hpp"
+#include "util/check.hpp"
+
+namespace saloba::core {
+
+CpuBackend::CpuBackend(align::ScoringScheme scoring) : scoring_(scoring) {
+  SALOBA_CHECK_MSG(scoring_.valid(), "invalid scoring scheme");
+}
+
+BackendOutput CpuBackend::run(const seq::PairBatch& batch, int lane) {
+  SALOBA_CHECK_MSG(lane == 0, "CPU backend has a single lane");
+  align::BatchTiming timing;
+  BackendOutput out;
+  out.results = align::align_batch(batch, scoring_, &timing);
+  out.time_ms = timing.wall_ms;
+  return out;
+}
+
+SimulatedGpuBackend::SimulatedGpuBackend(const AlignerOptions& options)
+    : scoring_(options.scoring) {
+  SALOBA_CHECK_MSG(scoring_.valid(), "invalid scoring scheme");
+  SALOBA_CHECK_MSG(options.devices >= 1, "need at least one device");
+  kernel_ = kernels::make_kernel(options.kernel, options.nominal_batch_pairs);
+  gpusim::DeviceSpec spec = gpusim::device_by_name(options.device);
+  devices_.reserve(static_cast<std::size_t>(options.devices));
+  for (int d = 0; d < options.devices; ++d) {
+    devices_.push_back(std::make_unique<gpusim::Device>(spec));
+  }
+  name_ = "sim:" + kernel_->info().name + "@" + spec.name;
+}
+
+BackendOutput SimulatedGpuBackend::run(const seq::PairBatch& batch, int lane) {
+  SALOBA_CHECK_MSG(lane >= 0 && lane < lanes(), "lane " << lane << " out of range");
+  kernels::KernelResult kr =
+      kernel_->run(*devices_[static_cast<std::size_t>(lane)], batch, scoring_);
+  BackendOutput out;
+  out.results = std::move(kr.results);
+  out.time_ms = kr.time.total_ms;
+  out.kernel_stats = kr.stats;
+  out.time_breakdown = kr.time;
+  return out;
+}
+
+std::unique_ptr<AlignBackend> make_backend(const AlignerOptions& options) {
+  if (options.backend == Backend::kCpu) {
+    return std::make_unique<CpuBackend>(options.scoring);
+  }
+  return std::make_unique<SimulatedGpuBackend>(options);
+}
+
+}  // namespace saloba::core

@@ -1,0 +1,88 @@
+// The execution-backend layer between the Aligner facade / BatchScheduler
+// and the alignment engines. A backend turns one (sub-)batch into results
+// plus timing on one of its lanes; the scheduler decides how a user batch
+// is split across lanes and merges the outputs (see core/scheduler.hpp for
+// the layering diagram).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "align/alignment_result.hpp"
+#include "core/options.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/kernel_iface.hpp"
+#include "seq/sequence.hpp"
+
+namespace saloba::core {
+
+/// What one backend run on one lane produced.
+struct BackendOutput {
+  std::vector<align::AlignmentResult> results;
+  /// Wall-clock milliseconds for the CPU backend; simulated kernel
+  /// milliseconds for the simulated backend.
+  double time_ms = 0.0;
+  /// Simulated backend only.
+  std::optional<gpusim::KernelStats> kernel_stats;
+  std::optional<gpusim::TimeBreakdown> time_breakdown;
+};
+
+class AlignBackend {
+ public:
+  virtual ~AlignBackend() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Independent execution lanes (simulated devices). The scheduler
+  /// serializes runs on one lane; distinct lanes may run concurrently.
+  virtual int lanes() const = 0;
+
+  /// Runs the batch on `lane` (in [0, lanes())). May throw
+  /// kernels::KernelUnsupportedError or gpusim::DeviceOomError, faithfully
+  /// to the modelled library.
+  virtual BackendOutput run(const seq::PairBatch& batch, int lane) = 0;
+};
+
+/// The host OpenMP batch aligner (align::align_batch). Single-lane: its
+/// timing is real wall-clock, so concurrent shard runs would fight for the
+/// same cores and skew it.
+class CpuBackend final : public AlignBackend {
+ public:
+  explicit CpuBackend(align::ScoringScheme scoring);
+
+  const std::string& name() const override { return name_; }
+  int lanes() const override { return 1; }
+  BackendOutput run(const seq::PairBatch& batch, int lane) override;
+
+ private:
+  align::ScoringScheme scoring_;
+  std::string name_ = "cpu";
+};
+
+/// A reproduced GPU kernel on N simulated devices. Each lane owns a
+/// gpusim::Device; the kernel object is stateless per run and shared.
+class SimulatedGpuBackend final : public AlignBackend {
+ public:
+  /// Resolves `options.kernel` and `options.device` through the registries;
+  /// throws std::invalid_argument (listing valid names) on unknown names.
+  explicit SimulatedGpuBackend(const AlignerOptions& options);
+
+  const std::string& name() const override { return name_; }
+  int lanes() const override { return static_cast<int>(devices_.size()); }
+  BackendOutput run(const seq::PairBatch& batch, int lane) override;
+
+  gpusim::Device& device(int lane) { return *devices_[static_cast<std::size_t>(lane)]; }
+
+ private:
+  align::ScoringScheme scoring_;
+  kernels::KernelPtr kernel_;
+  std::vector<std::unique_ptr<gpusim::Device>> devices_;
+  std::string name_;
+};
+
+/// Builds the backend `options` asks for.
+std::unique_ptr<AlignBackend> make_backend(const AlignerOptions& options);
+
+}  // namespace saloba::core

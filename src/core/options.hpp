@@ -1,9 +1,11 @@
 // Configuration of the public saloba::Aligner facade.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "align/scoring.hpp"
+#include "gpusim/multi_device.hpp"
 
 namespace saloba::core {
 
@@ -16,11 +18,26 @@ struct AlignerOptions {
   Backend backend = Backend::kCpu;
   /// Kernel name for the simulated backend (see kernels::kernel_names()).
   std::string kernel = "saloba";
-  /// Device preset: "gtx1650", "rtx3090", "p100", "v100".
+  /// Device preset (see gpusim::device_names()): "gtx1650", "rtx3090",
+  /// "p100", "v100".
   std::string device = "rtx3090";
   align::ScoringScheme scoring;
   /// Paper-scale batch size used for footprint checks (0 = actual batch).
   std::size_t nominal_batch_pairs = 0;
+
+  // --- Scheduler (host-side batching) ------------------------------------
+  /// Simulated devices the scheduler spreads shards across (Sec. VII-C
+  /// multi-GPU dispatch; simulated backend only — the CPU backend always
+  /// runs one lane). With 1 device and no shard cap, align() degenerates to
+  /// the classic single-launch path.
+  int devices = 1;
+  /// Shard size cap in pairs: 0 = one shard per device.
+  std::size_t max_shard_pairs = 0;
+  /// How pairs are packed into shards; kSorted is the paper's "approximate
+  /// sorting" mitigation for inter-device imbalance.
+  gpusim::SplitPolicy split_policy = gpusim::SplitPolicy::kSorted;
+  /// Worker threads for async shard dispatch (0 = one per device lane).
+  std::size_t scheduler_threads = 0;
 };
 
 }  // namespace saloba::core

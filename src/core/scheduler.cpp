@@ -1,0 +1,168 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace saloba::core {
+namespace {
+
+void accumulate_breakdown(gpusim::TimeBreakdown& into, const gpusim::TimeBreakdown& from) {
+  into.compute_ms += from.compute_ms;
+  into.dram_ms += from.dram_ms;
+  into.launch_ms += from.launch_ms;
+  into.init_ms += from.init_ms;
+  into.total_ms += from.total_ms;
+  into.dram_bytes += from.dram_bytes;
+  into.sm_imbalance = std::max(into.sm_imbalance, from.sm_imbalance);
+}
+
+double gcups_at(std::size_t cells, double time_ms) {
+  return time_ms > 0 ? static_cast<double>(cells) / (time_ms * 1e6) : 0.0;
+}
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(AlignBackend* backend, SchedulerOptions options)
+    : backend_(backend), options_(options) {
+  SALOBA_CHECK_MSG(backend_ != nullptr, "scheduler needs a backend");
+  SALOBA_CHECK_MSG(backend_->lanes() >= 1, "backend exposes no lanes");
+}
+
+util::ThreadPool& BatchScheduler::pool() {
+  if (!pool_) {
+    std::size_t threads = options_.threads > 0
+                              ? options_.threads
+                              : static_cast<std::size_t>(backend_->lanes());
+    pool_ = std::make_unique<util::ThreadPool>(threads);
+  }
+  return *pool_;
+}
+
+AlignOutput BatchScheduler::run_single(const seq::PairBatch& batch) {
+  // Fast path: the whole batch in input order on lane 0 — bit-identical to
+  // the pre-scheduler Aligner::align, with no batch copy.
+  BackendOutput bo = backend_->run(batch, 0);
+  AlignOutput out;
+  out.results = std::move(bo.results);
+  out.cells = batch.total_cells();
+  out.time_ms = bo.time_ms;
+  out.gcups = gcups_at(out.cells, out.time_ms);
+  out.kernel_stats = std::move(bo.kernel_stats);
+  out.time_breakdown = std::move(bo.time_breakdown);
+  out.schedule.shards = 1;
+  out.schedule.lanes = backend_->lanes();
+  out.schedule.lane_ms.assign(static_cast<std::size_t>(backend_->lanes()), 0.0);
+  out.schedule.lane_ms[0] = bo.time_ms;
+  out.schedule.makespan_ms = bo.time_ms;
+  out.schedule.imbalance = bo.time_ms > 0 ? 1.0 : 0.0;  // one busy lane
+  return out;
+}
+
+AlignOutput BatchScheduler::run(const seq::PairBatch& batch) {
+  if (batch.size() == 0) {
+    AlignOutput out;
+    out.schedule.lanes = backend_->lanes();
+    out.schedule.shards = 0;
+    out.schedule.lane_ms.assign(static_cast<std::size_t>(backend_->lanes()), 0.0);
+    return out;
+  }
+
+  const int lanes = backend_->lanes();
+  if (lanes == 1 && options_.max_shard_pairs == 0) return run_single(batch);
+
+  auto shards = gpusim::make_shards(batch, lanes, options_.policy, options_.max_shard_pairs);
+  if (shards.size() == 1 && shards[0].batch.size() == batch.size() &&
+      options_.policy == gpusim::SplitPolicy::kStatic) {
+    return run_single(batch);
+  }
+
+  // Async dispatch: one future per lane, each draining that lane's shards
+  // in order — lanes run concurrently and no pool thread ever blocks
+  // waiting for a device another thread holds.
+  std::vector<std::vector<std::size_t>> lane_shards(static_cast<std::size_t>(lanes));
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    lane_shards[static_cast<std::size_t>(shards[s].lane)].push_back(s);
+  }
+  std::vector<BackendOutput> outputs(shards.size());
+  std::vector<std::future<void>> futures;
+  for (const std::vector<std::size_t>& mine : lane_shards) {
+    if (mine.empty()) continue;
+    futures.push_back(pool().submit([this, &shards, &outputs, &mine] {
+      for (std::size_t s : mine) {
+        outputs[s] = backend_->run(shards[s].batch, shards[s].lane);
+      }
+    }));
+  }
+
+  // Wait for every in-flight shard before touching the outputs, even when
+  // one of them failed; rethrow the first failure afterwards.
+  std::exception_ptr failure;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!failure) failure = std::current_exception();
+    }
+  }
+  if (failure) std::rethrow_exception(failure);
+
+  return merge(batch, shards, outputs);
+}
+
+AlignOutput BatchScheduler::merge(const seq::PairBatch& batch,
+                                  const std::vector<gpusim::Shard>& shards,
+                                  std::vector<BackendOutput>& outputs) {
+  AlignOutput out;
+  out.results.resize(batch.size());
+  out.cells = batch.total_cells();
+  out.schedule.shards = shards.size();
+  out.schedule.lanes = backend_->lanes();
+  out.schedule.lane_ms.assign(static_cast<std::size_t>(backend_->lanes()), 0.0);
+
+  // Deterministic aggregation: shards are merged in shard-id order, not
+  // completion order, so stats and times never depend on thread timing.
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const gpusim::Shard& shard = shards[s];
+    BackendOutput& bo = outputs[s];
+    SALOBA_CHECK_MSG(bo.results.size() == shard.indices.size(),
+                     "backend returned " << bo.results.size() << " results for a "
+                                         << shard.indices.size() << "-pair shard");
+    for (std::size_t i = 0; i < shard.indices.size(); ++i) {
+      out.results[shard.indices[i]] = bo.results[i];
+    }
+    out.schedule.lane_ms[static_cast<std::size_t>(shard.lane)] += bo.time_ms;
+    if (bo.kernel_stats) {
+      if (!out.kernel_stats) out.kernel_stats.emplace();
+      out.kernel_stats->merge(*bo.kernel_stats);
+    }
+    if (bo.time_breakdown) {
+      if (!out.time_breakdown) out.time_breakdown.emplace();
+      accumulate_breakdown(*out.time_breakdown, *bo.time_breakdown);
+    }
+  }
+
+  double sum = 0.0;
+  int busy = 0;
+  for (double ms : out.schedule.lane_ms) {
+    out.schedule.makespan_ms = std::max(out.schedule.makespan_ms, ms);
+    sum += ms;
+    busy += ms > 0.0;
+  }
+  out.schedule.imbalance =
+      busy > 0 && sum > 0.0 ? out.schedule.makespan_ms / (sum / busy) : 0.0;
+
+  // Devices run concurrently, so the batch's wall time is the makespan —
+  // and gcups is computed once, from the merged output, for both backends.
+  // The breakdown stays a per-component sum over every shard (total device
+  // time), so its parts remain consistent with its own total_ms; the two
+  // coincide on a single lane.
+  out.time_ms = out.schedule.makespan_ms;
+  out.gcups = out.time_ms > 0 ? static_cast<double>(out.cells) / (out.time_ms * 1e6) : 0.0;
+  return out;
+}
+
+}  // namespace saloba::core

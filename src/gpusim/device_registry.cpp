@@ -1,0 +1,28 @@
+#include "gpusim/device_registry.hpp"
+
+#include "util/registry.hpp"
+
+namespace saloba::gpusim {
+namespace {
+
+using Registry = util::NamedRegistry<DeviceFactory>;
+
+Registry& registry() {
+  // Function-local static: safe to use from registrars in other TUs
+  // regardless of static-initialization order.
+  static Registry instance("device preset");
+  return instance;
+}
+
+}  // namespace
+
+DeviceRegistrar::DeviceRegistrar(std::string canonical, std::vector<std::string> aliases,
+                                 int rank, DeviceFactory factory) {
+  registry().add({std::move(canonical), std::move(aliases), std::move(factory), rank});
+}
+
+DeviceSpec device_by_name(const std::string& name) { return registry().at(name).factory(); }
+
+std::vector<std::string> device_names() { return registry().names(); }
+
+}  // namespace saloba::gpusim

@@ -1,0 +1,31 @@
+// Name→DeviceSpec preset registry. Presets self-register from
+// device_spec.cpp; anything (CLI flags, AlignerOptions.device, tests) that
+// needs a device by name resolves it here and gets the full list of valid
+// names in the error message on a miss.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpusim/device_spec.hpp"
+
+namespace saloba::gpusim {
+
+using DeviceFactory = std::function<DeviceSpec()>;
+
+/// Resolves a preset ("gtx1650", "rtx3090", "p100", "v100", plus uppercase
+/// aliases); throws std::invalid_argument listing the valid names.
+DeviceSpec device_by_name(const std::string& name);
+
+/// Canonical preset names in registration rank order.
+std::vector<std::string> device_names();
+
+/// Construct one at namespace scope in the preset's TU to register it.
+class DeviceRegistrar {
+ public:
+  DeviceRegistrar(std::string canonical, std::vector<std::string> aliases, int rank,
+                  DeviceFactory factory);
+};
+
+}  // namespace saloba::gpusim

@@ -1,5 +1,7 @@
 #include "gpusim/device_spec.hpp"
 
+#include "gpusim/device_registry.hpp"
+
 namespace saloba::gpusim {
 
 DeviceSpec DeviceSpec::gtx1650() {
@@ -79,5 +81,16 @@ DeviceSpec DeviceSpec::volta_v100() {
   d.l2_hit_rate = 0.25;
   return d;
 }
+
+namespace {
+
+// Rank order: the paper's two evaluation systems first, then the Table-I
+// granularity-comparison parts.
+const DeviceRegistrar reg_gtx1650{"gtx1650", {"GTX1650"}, 10, &DeviceSpec::gtx1650};
+const DeviceRegistrar reg_rtx3090{"rtx3090", {"RTX3090"}, 20, &DeviceSpec::rtx3090};
+const DeviceRegistrar reg_p100{"p100", {"P100"}, 30, &DeviceSpec::pascal_p100};
+const DeviceRegistrar reg_v100{"v100", {"V100"}, 40, &DeviceSpec::volta_v100};
+
+}  // namespace
 
 }  // namespace saloba::gpusim

@@ -19,22 +19,56 @@ std::vector<std::size_t> shard_order(const seq::PairBatch& batch, SplitPolicy po
   return order;
 }
 
-ShardResult dispatch_shards(
-    const seq::PairBatch& batch, int devices, SplitPolicy policy,
-    const std::function<double(const seq::PairBatch&)>& run_shard) {
+std::vector<Shard> make_shards(const seq::PairBatch& batch, int devices, SplitPolicy policy,
+                               std::size_t max_shard_pairs) {
   SALOBA_CHECK_MSG(devices >= 1, "need at least one device");
   auto order = shard_order(batch, policy);
 
-  ShardResult out;
-  out.shard_ms.reserve(static_cast<std::size_t>(devices));
-  for (int d = 0; d < devices; ++d) {
-    seq::PairBatch shard;
-    for (std::size_t i = static_cast<std::size_t>(d); i < order.size();
-         i += static_cast<std::size_t>(devices)) {
-      shard.add(batch.queries[order[i]], batch.refs[order[i]]);
+  std::vector<Shard> shards;
+  if (max_shard_pairs == 0) {
+    // One shard per lane, round-robin over the policy order (the classic
+    // dispatch_shards partition).
+    shards.resize(static_cast<std::size_t>(devices));
+    for (int d = 0; d < devices; ++d) shards[static_cast<std::size_t>(d)].lane = d;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      Shard& s = shards[i % static_cast<std::size_t>(devices)];
+      s.batch.add(batch.queries[order[i]], batch.refs[order[i]]);
+      s.indices.push_back(order[i]);
     }
-    double ms = shard.size() > 0 ? run_shard(shard) : 0.0;
-    out.shard_ms.push_back(ms);
+  } else {
+    // Length-bucketed packing: contiguous runs of the policy order, then
+    // greedy LPT (runs come largest-area-first under kSorted) onto lanes.
+    for (std::size_t begin = 0; begin < order.size(); begin += max_shard_pairs) {
+      std::size_t end = std::min(begin + max_shard_pairs, order.size());
+      Shard s;
+      for (std::size_t i = begin; i < end; ++i) {
+        s.batch.add(batch.queries[order[i]], batch.refs[order[i]]);
+        s.indices.push_back(order[i]);
+      }
+      shards.push_back(std::move(s));
+    }
+    std::vector<std::uint64_t> lane_load(static_cast<std::size_t>(devices), 0);
+    for (Shard& s : shards) {
+      auto least = std::min_element(lane_load.begin(), lane_load.end());
+      s.lane = static_cast<int>(least - lane_load.begin());
+      *least += s.batch.total_cells();
+    }
+  }
+
+  std::erase_if(shards, [](const Shard& s) { return s.batch.size() == 0; });
+  return shards;
+}
+
+ShardResult dispatch_shards(
+    const seq::PairBatch& batch, int devices, SplitPolicy policy,
+    const std::function<double(const seq::PairBatch&)>& run_shard) {
+  auto shards = make_shards(batch, devices, policy, 0);
+
+  ShardResult out;
+  out.shard_ms.assign(static_cast<std::size_t>(devices), 0.0);
+  for (const Shard& s : shards) {
+    double ms = run_shard(s.batch);
+    out.shard_ms[static_cast<std::size_t>(s.lane)] = ms;
     out.makespan_ms = std::max(out.makespan_ms, ms);
   }
   double sum = 0.0;

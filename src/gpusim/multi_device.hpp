@@ -34,4 +34,26 @@ ShardResult dispatch_shards(
 /// The shard index sequence a policy produces (exposed for tests).
 std::vector<std::size_t> shard_order(const seq::PairBatch& batch, SplitPolicy policy);
 
+/// One sub-batch of a sharded dispatch, with enough bookkeeping to merge
+/// results back into input order.
+struct Shard {
+  seq::PairBatch batch;
+  std::vector<std::size_t> indices;  ///< original position of each pair
+  int lane = 0;                      ///< device the shard is assigned to
+};
+
+/// Shards `batch` for `devices` lanes under `policy`.
+///
+/// * `max_shard_pairs == 0`: one shard per lane, dealt round-robin over the
+///   policy order — exactly the partition dispatch_shards runs.
+/// * `max_shard_pairs > 0`: the policy order is cut into contiguous runs of
+///   at most `max_shard_pairs` pairs (under kSorted each run holds
+///   like-sized pairs — length-bucketed packing that minimises intra-launch
+///   imbalance, the paper's balance goal at host granularity), and runs are
+///   assigned to lanes by greedy LPT on DP area.
+///
+/// Every pair lands in exactly one shard; empty shards are dropped.
+std::vector<Shard> make_shards(const seq::PairBatch& batch, int devices, SplitPolicy policy,
+                               std::size_t max_shard_pairs = 0);
+
 }  // namespace saloba::gpusim

@@ -200,4 +200,9 @@ KernelPtr make_adept_like(std::size_t nominal_pairs) {
   return std::make_unique<AdeptKernel>();
 }
 
+
+namespace {
+const KernelRegistrar reg_adept{"adept", {}, 60, &make_adept_like};
+}  // namespace
+
 }  // namespace saloba::kernels

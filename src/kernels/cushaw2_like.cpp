@@ -33,4 +33,9 @@ KernelPtr make_cushaw2_like(std::size_t nominal_pairs) {
   return std::make_unique<InterQueryKernel>(std::move(p));
 }
 
+
+namespace {
+const KernelRegistrar reg_cushaw2{"cushaw2-gpu", {"cushaw2"}, 20, &make_cushaw2_like};
+}  // namespace
+
 }  // namespace saloba::kernels

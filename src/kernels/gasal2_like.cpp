@@ -36,4 +36,9 @@ KernelPtr make_gasal2_like(std::size_t nominal_pairs) {
   return std::make_unique<InterQueryKernel>(std::move(p));
 }
 
+
+namespace {
+const KernelRegistrar reg_gasal2{"gasal2", {}, 40, &make_gasal2_like};
+}  // namespace
+
 }  // namespace saloba::kernels

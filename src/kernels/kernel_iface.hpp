@@ -6,6 +6,8 @@
 //     would generate, from which gpusim estimates time.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -62,9 +64,26 @@ using KernelPtr = std::unique_ptr<ExtensionKernel>;
 
 /// Factory for every kernel in the comparison set, in paper Table II order
 /// with SALoBa last. `make_kernel` accepts the names listed by
-/// `kernel_names()` ("gasal2", "saloba", "saloba-sw8", ...).
+/// `kernel_names()` ("gasal2", "saloba", "saloba-sw8", ...) and throws
+/// std::invalid_argument naming the valid kernels on a miss.
+/// `nominal_pairs` reproduces the paper's batch size (5,000 reads per
+/// kernel call, Sec. V-B) for device-memory footprint checks even when the
+/// simulated batch is smaller; 0 = use the actual batch size.
 std::vector<KernelPtr> make_all_kernels();
-KernelPtr make_kernel(const std::string& name);
+KernelPtr make_kernel(const std::string& name, std::size_t nominal_pairs = 0);
 std::vector<std::string> kernel_names();
+
+/// Registry factory signature: builds the kernel with the given nominal
+/// batch size for footprint checks.
+using KernelFactory = std::function<KernelPtr(std::size_t nominal_pairs)>;
+
+/// Self-registration handle for `make_kernel`: construct one at namespace
+/// scope in the kernel's TU. `rank` fixes the position in `kernel_names()`
+/// (paper Table II order, SALoBa variants last).
+class KernelRegistrar {
+ public:
+  KernelRegistrar(std::string canonical, std::vector<std::string> aliases, int rank,
+                  KernelFactory factory);
+};
 
 }  // namespace saloba::kernels

@@ -34,4 +34,9 @@ KernelPtr make_nvbio_like(std::size_t nominal_pairs) {
   return std::make_unique<InterQueryKernel>(std::move(p));
 }
 
+
+namespace {
+const KernelRegistrar reg_nvbio{"nvbio", {}, 30, &make_nvbio_like};
+}  // namespace
+
 }  // namespace saloba::kernels

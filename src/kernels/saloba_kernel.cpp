@@ -515,4 +515,31 @@ KernelPtr make_saloba(const SalobaConfig& config, std::size_t nominal_pairs) {
   return std::make_unique<SalobaKernel>(config, nominal_pairs);
 }
 
+namespace {
+
+KernelFactory saloba_factory(SalobaConfig cfg) {
+  return [cfg](std::size_t nominal) { return make_saloba(cfg, nominal); };
+}
+
+SalobaConfig variant(int subwarp, bool lazy, std::string name = "") {
+  SalobaConfig cfg;
+  cfg.subwarp_size = subwarp;
+  cfg.lazy_spill = lazy;
+  cfg.name = std::move(name);
+  return cfg;
+}
+
+// The default config plus the Fig. 7 ablation steps and Fig. 5 subwarp
+// sweep, ranked after the Table II comparison set.
+const KernelRegistrar reg_saloba{"saloba", {}, 70, saloba_factory(SalobaConfig{})};
+const KernelRegistrar reg_intra{"saloba-intra", {}, 80, saloba_factory(variant(32, false))};
+const KernelRegistrar reg_lazy{"saloba-lazy", {}, 90,
+                               saloba_factory(variant(32, true, "SALoBa-lazy"))};
+const KernelRegistrar reg_sw8{"saloba-sw8", {}, 100, saloba_factory(variant(8, true))};
+const KernelRegistrar reg_sw16{"saloba-sw16", {}, 110, saloba_factory(variant(16, true))};
+const KernelRegistrar reg_sw32{"saloba-sw32", {}, 120,
+                               saloba_factory(variant(32, true, "SALoBa-sw32"))};
+
+}  // namespace
+
 }  // namespace saloba::kernels

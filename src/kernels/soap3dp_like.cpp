@@ -36,4 +36,9 @@ KernelPtr make_soap3dp_like(std::size_t nominal_pairs) {
   return std::make_unique<InterQueryKernel>(std::move(p));
 }
 
+
+namespace {
+const KernelRegistrar reg_soap3dp{"soap3-dp", {"soap3dp"}, 10, &make_soap3dp_like};
+}  // namespace
+
 }  // namespace saloba::kernels

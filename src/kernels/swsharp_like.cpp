@@ -226,4 +226,9 @@ KernelPtr make_swsharp_like(std::size_t nominal_pairs) {
   return std::make_unique<SwSharpKernel>();
 }
 
+
+namespace {
+const KernelRegistrar reg_swsharp{"sw#", {"swsharp"}, 50, &make_swsharp_like};
+}  // namespace
+
 }  // namespace saloba::kernels

@@ -37,54 +37,103 @@ ReadMapper::StrandResult ReadMapper::analyze(std::span<const seq::BaseCode> read
   return out;
 }
 
-ReadMapping ReadMapper::map(std::span<const seq::BaseCode> read) const {
-  ReadMapping mapping;
-  if (read.empty()) return mapping;
+ReadMapper::PreparedRead ReadMapper::prepare(std::span<const seq::BaseCode> read) const {
+  PreparedRead pre;
+  if (read.empty()) return pre;
 
   StrandResult fwd = analyze(read);
   std::vector<seq::BaseCode> rc =
       seq::reverse_complement(std::vector<seq::BaseCode>(read.begin(), read.end()));
   StrandResult rev = analyze(rc);
 
-  const bool use_rev = rev.coverage > fwd.coverage;
-  const StrandResult& chosen = use_rev ? rev : fwd;
-  std::span<const seq::BaseCode> oriented = use_rev ? std::span<const seq::BaseCode>(rc) : read;
-  if (chosen.chains.empty()) return mapping;
+  pre.use_rev = rev.coverage > fwd.coverage;
+  const StrandResult& chosen = pre.use_rev ? rev : fwd;
+  std::span<const seq::BaseCode> oriented =
+      pre.use_rev ? std::span<const seq::BaseCode>(rc) : read;
+  if (chosen.chains.empty()) return pre;
 
   const Chain& best = chosen.chains.front();
-  auto jobs = make_extension_jobs(genome_, oriented, best, 0, params_.jobs);
-
-  align::Score score = 0;
+  pre.has_chain = true;
+  pre.anchor = best.first();
+  pre.jobs = make_extension_jobs(genome_, oriented, best, 0, params_.jobs);
   for (const Seed& s : best.seeds) {
-    score += static_cast<align::Score>(s.len) * params_.scoring.match;
+    pre.seed_score += static_cast<align::Score>(s.len) * params_.scoring.match;
   }
+  return pre;
+}
+
+ReadMapping ReadMapper::finalize(const PreparedRead& pre,
+                                 std::span<const align::AlignmentResult> job_results) {
+  ReadMapping mapping;
+  if (!pre.has_chain) return mapping;
+
+  align::Score score = pre.seed_score;
   std::optional<align::AlignmentResult> left_result;
-  for (const auto& job : jobs) {
-    auto r = align::smith_waterman(job.ref, job.query, params_.scoring);
-    score += r.score;
-    if (job.left) left_result = r;
+  for (std::size_t j = 0; j < pre.jobs.size(); ++j) {
+    score += job_results[j].score;
+    if (pre.jobs[j].left) left_result = job_results[j];
   }
 
-  const Seed& anchor = best.first();
   std::size_t start;
   if (left_result && left_result->score > 0) {
-    start = anchor.rpos - static_cast<std::size_t>(left_result->ref_end) - 1;
+    start = pre.anchor.rpos - static_cast<std::size_t>(left_result->ref_end) - 1;
   } else {
     // Diagonal projection of the read start through the anchor seed.
-    start = anchor.rpos >= anchor.qpos ? anchor.rpos - anchor.qpos : 0;
+    start = pre.anchor.rpos >= pre.anchor.qpos ? pre.anchor.rpos - pre.anchor.qpos : 0;
   }
 
   mapping.mapped = true;
   mapping.ref_pos = start;
-  mapping.reverse_strand = use_rev;
+  mapping.reverse_strand = pre.use_rev;
   mapping.score = score;
   return mapping;
+}
+
+ReadMapping ReadMapper::map(std::span<const seq::BaseCode> read) const {
+  PreparedRead pre = prepare(read);
+  std::vector<align::AlignmentResult> results(pre.jobs.size());
+  for (std::size_t j = 0; j < pre.jobs.size(); ++j) {
+    results[j] = align::smith_waterman(pre.jobs[j].ref, pre.jobs[j].query, params_.scoring);
+  }
+  return finalize(pre, results);
 }
 
 std::vector<ReadMapping> ReadMapper::map_batch(
     std::span<const std::vector<seq::BaseCode>> reads) const {
   std::vector<ReadMapping> out(reads.size());
   util::parallel_for_indexed(reads.size(), [&](std::size_t i) { out[i] = map(reads[i]); });
+  return out;
+}
+
+std::vector<ReadMapping> ReadMapper::map_batch(
+    std::span<const std::vector<seq::BaseCode>> reads, const BatchExtender& extend) const {
+  // Stage 1 (host-parallel): seeding + chaining + job extraction per read.
+  std::vector<PreparedRead> prepared(reads.size());
+  util::parallel_for_indexed(reads.size(),
+                             [&](std::size_t i) { prepared[i] = prepare(reads[i]); });
+
+  // Stage 2: one kernel-sized batch of every read's jobs, in read order.
+  std::vector<ExtensionJob> jobs;
+  std::vector<std::size_t> first_job(reads.size() + 1, 0);
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    first_job[i] = jobs.size();
+    for (const auto& j : prepared[i].jobs) jobs.push_back(j);
+  }
+  first_job[reads.size()] = jobs.size();
+
+  std::vector<align::AlignmentResult> results;
+  if (!jobs.empty()) results = extend(jobs_to_batch(jobs));
+  SALOBA_CHECK_MSG(results.size() == jobs.size(),
+                   "extender returned " << results.size() << " results for " << jobs.size()
+                                        << " jobs");
+
+  // Stage 3: scatter extension scores back per read.
+  std::vector<ReadMapping> out(reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    std::span<const align::AlignmentResult> slice(results.data() + first_job[i],
+                                                  first_job[i + 1] - first_job[i]);
+    out[i] = finalize(prepared[i], slice);
+  }
   return out;
 }
 

@@ -4,11 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "align/alignment_result.hpp"
 #include "align/scoring.hpp"
 #include "seedext/chaining.hpp"
 #include "seedext/extension_jobs.hpp"
@@ -35,6 +37,14 @@ struct ReadMapping {
   align::Score score = 0;       ///< seed matches + extension scores
 };
 
+/// A batch extension engine: aligns every (query, reference) pair of a
+/// PairBatch, output order matching input order. core::Aligner's
+/// batch_extender() adapts the scheduler-backed public path (CPU or any
+/// simulated kernel, sharded across devices) to this signature, so the
+/// Sec. V-D pipeline exercises the same code as the benches.
+using BatchExtender =
+    std::function<std::vector<align::AlignmentResult>(const seq::PairBatch&)>;
+
 class ReadMapper {
  public:
   ReadMapper(std::vector<seq::BaseCode> genome, MapperParams params);
@@ -51,6 +61,14 @@ class ReadMapper {
   std::vector<ReadMapping> map_batch(
       std::span<const std::vector<seq::BaseCode>> reads) const;
 
+  /// Batch mapping with the extension stage routed through `extend`: all
+  /// reads' extension jobs are gathered into one kernel-sized PairBatch and
+  /// aligned in a single call (the paper's batched seed-extension shape)
+  /// instead of per-job CPU alignments. Mappings are identical to
+  /// map_batch(reads) for any extender that matches the CPU reference.
+  std::vector<ReadMapping> map_batch(std::span<const std::vector<seq::BaseCode>> reads,
+                                     const BatchExtender& extend) const;
+
   /// Extracts every extension job the given reads generate (best strand,
   /// all surviving chains) — the kernel workload of Fig. 2 / Fig. 8.
   std::vector<ExtensionJob> collect_jobs(
@@ -65,6 +83,21 @@ class ReadMapper {
     std::int64_t coverage = 0;  ///< best chain score (strand selector)
   };
   StrandResult analyze(std::span<const seq::BaseCode> read) const;
+
+  /// Everything map() derives from a read before extension: strand choice,
+  /// the best chain's anchor and seed score, and its extension jobs. Both
+  /// the per-job CPU path (map) and the batched path (map_batch + extender)
+  /// run prepare → extend → finalize, so they agree by construction.
+  struct PreparedRead {
+    bool has_chain = false;
+    bool use_rev = false;
+    align::Score seed_score = 0;
+    Seed anchor;
+    std::vector<ExtensionJob> jobs;
+  };
+  PreparedRead prepare(std::span<const seq::BaseCode> read) const;
+  static ReadMapping finalize(const PreparedRead& pre,
+                              std::span<const align::AlignmentResult> job_results);
 
   std::vector<seq::BaseCode> genome_;
   MapperParams params_;

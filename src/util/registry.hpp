@@ -1,0 +1,95 @@
+// Generic name→factory registry with aliases and deterministic listing
+// order. Kernel and device-preset factories self-register from static
+// initializers in their own TUs (the library links as one object set, so
+// every registrar runs before main), replacing the string if-chains that
+// used to be duplicated across core/aligner.cpp and kernels/registry.cpp.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace saloba::util {
+
+template <typename Factory>
+class NamedRegistry {
+ public:
+  struct Entry {
+    std::string canonical;
+    std::vector<std::string> aliases;
+    Factory factory;
+    /// Listing position for names() (e.g. paper Table II order); ties break
+    /// by canonical name so the order never depends on static-init order.
+    int rank = 1000;
+  };
+
+  /// `kind` names the registered product ("kernel", "device preset") in
+  /// error messages.
+  explicit NamedRegistry(std::string kind) : kind_(std::move(kind)) {}
+
+  void add(Entry entry) {
+    if (lookup_.count(entry.canonical) > 0) {
+      throw std::logic_error("duplicate " + kind_ + " registration: " + entry.canonical);
+    }
+    entries_.push_back(std::move(entry));
+    const std::size_t idx = entries_.size() - 1;
+    lookup_[entries_[idx].canonical] = idx;
+    for (const auto& alias : entries_[idx].aliases) {
+      if (lookup_.count(alias) > 0) {
+        throw std::logic_error("duplicate " + kind_ + " registration: " + alias);
+      }
+      lookup_[alias] = idx;
+    }
+  }
+
+  /// nullptr when `name` is neither a canonical name nor an alias.
+  const Entry* find(const std::string& name) const {
+    auto it = lookup_.find(name);
+    return it == lookup_.end() ? nullptr : &entries_[it->second];
+  }
+
+  /// Resolves `name`; throws std::invalid_argument listing every valid
+  /// canonical name on a miss.
+  const Entry& at(const std::string& name) const {
+    const Entry* entry = find(name);
+    if (entry == nullptr) throw std::invalid_argument(unknown_name_message(name));
+    return *entry;
+  }
+
+  /// Canonical names ordered by (rank, name).
+  std::vector<std::string> names() const {
+    std::vector<const Entry*> sorted = ordered();
+    std::vector<std::string> out;
+    out.reserve(sorted.size());
+    for (const Entry* e : sorted) out.push_back(e->canonical);
+    return out;
+  }
+
+  std::string unknown_name_message(const std::string& name) const {
+    std::ostringstream oss;
+    oss << "unknown " << kind_ << ": '" << name << "'; valid " << kind_ << " names:";
+    for (const auto& n : names()) oss << ' ' << n;
+    return oss.str();
+  }
+
+ private:
+  std::vector<const Entry*> ordered() const {
+    std::vector<const Entry*> sorted;
+    sorted.reserve(entries_.size());
+    for (const auto& e : entries_) sorted.push_back(&e);
+    std::sort(sorted.begin(), sorted.end(), [](const Entry* a, const Entry* b) {
+      if (a->rank != b->rank) return a->rank < b->rank;
+      return a->canonical < b->canonical;
+    });
+    return sorted;
+  }
+
+  std::string kind_;
+  std::vector<Entry> entries_;
+  std::map<std::string, std::size_t> lookup_;  ///< canonical + aliases → index
+};
+
+}  // namespace saloba::util

@@ -57,6 +57,50 @@ TEST(Aligner, DeviceByNameResolvesPresets) {
   EXPECT_THROW(Aligner::device_by_name("tpu"), std::invalid_argument);
 }
 
+TEST(Aligner, UnknownDeviceMessageListsPresets) {
+  try {
+    Aligner::device_by_name("tpu");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = e.what();
+    for (const char* name : {"gtx1650", "rtx3090", "p100", "v100"}) {
+      EXPECT_NE(msg.find(name), std::string::npos) << name << " missing from: " << msg;
+    }
+  }
+}
+
+TEST(Aligner, MultiDeviceShardingKeepsResultsAndCutsWallTime) {
+  auto batch = saloba::testing::imbalanced_batch(166, 40, 100, 1500);
+  AlignerOptions opts;
+  opts.backend = Backend::kSimulated;
+  opts.kernel = "saloba-sw16";
+  opts.device = "rtx3090";
+  auto single = Aligner(opts).align(batch);
+  opts.devices = 2;
+  auto dual = Aligner(opts).align(batch);
+  EXPECT_EQ(single.results, dual.results);
+  EXPECT_LT(dual.time_ms, single.time_ms);
+  EXPECT_EQ(dual.schedule.lanes, 2);
+}
+
+TEST(Aligner, GcupsComputedFromMergedOutputOnBothBackends) {
+  auto batch = saloba::testing::related_batch(167, 20, 150, 200);
+  for (Backend backend : {Backend::kCpu, Backend::kSimulated}) {
+    AlignerOptions opts;
+    opts.backend = backend;
+    auto out = Aligner(opts).align(batch);
+    ASSERT_GT(out.time_ms, 0.0);
+    EXPECT_DOUBLE_EQ(out.gcups, static_cast<double>(out.cells) / (out.time_ms * 1e6));
+  }
+}
+
+TEST(Aligner, BatchExtenderRoutesThroughScheduler) {
+  auto batch = saloba::testing::related_batch(168, 15, 100, 130);
+  Aligner cpu{AlignerOptions{}};
+  auto extender = cpu.batch_extender();
+  EXPECT_EQ(extender(batch), cpu.align(batch).results);
+}
+
 TEST(Aligner, GcupsReported) {
   Aligner aligner{AlignerOptions{}};
   auto batch = saloba::testing::related_batch(164, 40, 200, 200);

@@ -1,0 +1,87 @@
+// AlignBackend implementations: lane bookkeeping, CPU/simulated parity,
+// and registry-backed construction errors.
+#include "core/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "../support/test_support.hpp"
+#include "align/batch.hpp"
+#include "gpusim/device_registry.hpp"
+
+namespace saloba::core {
+namespace {
+
+TEST(CpuBackend, RunsBatchOnSingleLane) {
+  CpuBackend backend{align::ScoringScheme{}};
+  EXPECT_EQ(backend.lanes(), 1);
+  auto batch = saloba::testing::related_batch(701, 12, 90, 120);
+  auto out = backend.run(batch, 0);
+  EXPECT_EQ(out.results, align::align_batch(batch, align::ScoringScheme{}));
+  EXPECT_FALSE(out.kernel_stats.has_value());
+  EXPECT_GT(out.time_ms, 0.0);
+}
+
+TEST(SimulatedGpuBackend, LanesOwnIndependentDevices) {
+  AlignerOptions opts;
+  opts.backend = Backend::kSimulated;
+  opts.kernel = "saloba";
+  opts.device = "gtx1650";
+  opts.devices = 3;
+  SimulatedGpuBackend backend(opts);
+  EXPECT_EQ(backend.lanes(), 3);
+
+  auto batch = saloba::testing::related_batch(702, 8, 100, 140);
+  auto expected = align::align_batch(batch, align::ScoringScheme{});
+  for (int lane = 0; lane < backend.lanes(); ++lane) {
+    auto out = backend.run(batch, lane);
+    EXPECT_EQ(out.results, expected) << "lane " << lane;
+    ASSERT_TRUE(out.kernel_stats.has_value());
+    EXPECT_GT(out.time_ms, 0.0);
+  }
+}
+
+TEST(SimulatedGpuBackend, UnknownKernelThrowsListingValidNames) {
+  AlignerOptions opts;
+  opts.backend = Backend::kSimulated;
+  opts.kernel = "not-a-kernel";
+  try {
+    SimulatedGpuBackend backend(opts);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("not-a-kernel"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("saloba"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("gasal2"), std::string::npos) << msg;
+  }
+}
+
+TEST(SimulatedGpuBackend, UnknownDeviceThrowsListingValidNames) {
+  AlignerOptions opts;
+  opts.backend = Backend::kSimulated;
+  opts.device = "tpu";
+  try {
+    SimulatedGpuBackend backend(opts);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("tpu"), std::string::npos) << msg;
+    for (const auto& name : gpusim::device_names()) {
+      EXPECT_NE(msg.find(name), std::string::npos) << name << " missing from: " << msg;
+    }
+  }
+}
+
+TEST(MakeBackend, DispatchesOnOptions) {
+  AlignerOptions cpu;
+  EXPECT_EQ(make_backend(cpu)->name(), "cpu");
+  AlignerOptions sim;
+  sim.backend = Backend::kSimulated;
+  auto backend = make_backend(sim);
+  EXPECT_EQ(backend->name().find("sim:"), 0u) << backend->name();
+}
+
+}  // namespace
+}  // namespace saloba::core

@@ -186,8 +186,34 @@ TEST(KernelRegistry, MakeAllKernelsTableTwoOrder) {
   EXPECT_EQ(kernels.back()->info().name, "SALoBa-sw8");
 }
 
-TEST(KernelRegistryDeath, UnknownNameAborts) {
-  EXPECT_DEATH(make_kernel("definitely-not-a-kernel"), "unknown kernel");
+TEST(KernelRegistry, UnknownNameThrowsListingValidNames) {
+  try {
+    make_kernel("definitely-not-a-kernel");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown kernel"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("definitely-not-a-kernel"), std::string::npos) << msg;
+    // The message lists every valid name so a typo is self-diagnosing.
+    for (const auto& name : kernel_names()) {
+      EXPECT_NE(msg.find(name), std::string::npos) << name << " missing from: " << msg;
+    }
+  }
+}
+
+TEST(KernelRegistry, AliasesResolveToTheSameKernel) {
+  EXPECT_EQ(make_kernel("soap3dp")->info().name, make_kernel("soap3-dp")->info().name);
+  EXPECT_EQ(make_kernel("cushaw2")->info().name, make_kernel("cushaw2-gpu")->info().name);
+  EXPECT_EQ(make_kernel("swsharp")->info().name, make_kernel("sw#")->info().name);
+}
+
+TEST(KernelRegistry, NamesKeepTableTwoOrder) {
+  auto names = kernel_names();
+  std::vector<std::string> expected = {"soap3-dp",    "cushaw2-gpu", "nvbio",
+                                       "gasal2",      "sw#",         "adept",
+                                       "saloba",      "saloba-intra", "saloba-lazy",
+                                       "saloba-sw8",  "saloba-sw16", "saloba-sw32"};
+  EXPECT_EQ(names, expected);
 }
 
 }  // namespace

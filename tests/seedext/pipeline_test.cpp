@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "align/batch.hpp"
 #include "seq/random_genome.hpp"
 #include "seq/read_simulator.hpp"
 #include "util/stats.hpp"
@@ -116,6 +117,54 @@ TEST(Pipeline, EmptyReadDoesNotMap) {
   auto genome = pipeline_genome(47);
   ReadMapper mapper(genome, MapperParams{});
   EXPECT_FALSE(mapper.map({}).mapped);
+}
+
+void expect_same_mappings(const std::vector<ReadMapping>& a,
+                          const std::vector<ReadMapping>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mapped, b[i].mapped) << "read " << i;
+    EXPECT_EQ(a[i].ref_pos, b[i].ref_pos) << "read " << i;
+    EXPECT_EQ(a[i].reverse_strand, b[i].reverse_strand) << "read " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << "read " << i;
+  }
+}
+
+TEST(Pipeline, BatchedExtenderMatchesPerJobPath) {
+  // Routing the extension stage through a BatchExtender (the scheduler-
+  // shaped hook) must reproduce the per-job CPU mappings exactly.
+  auto genome = pipeline_genome(48);
+  seq::ReadProfile profile = seq::ReadProfile::illumina_250bp();
+  seq::ReadSimulator sim(genome, profile, 12);
+  ReadMapper mapper(genome, MapperParams{});
+  std::vector<std::vector<seq::BaseCode>> reads;
+  for (const auto& r : sim.simulate(30)) reads.push_back(r.read.bases);
+
+  auto per_job = mapper.map_batch(reads);
+  BatchExtender cpu_extender = [&](const seq::PairBatch& batch) {
+    return align::align_batch(batch, mapper.params().scoring);
+  };
+  expect_same_mappings(mapper.map_batch(reads, cpu_extender), per_job);
+}
+
+TEST(Pipeline, BatchedExtenderHandlesUnmappableReads) {
+  auto genome = pipeline_genome(49);
+  ReadMapper mapper(genome, MapperParams{});
+  // Reads with no seeds anywhere: all-identical non-genomic garbage is
+  // unlikely to seed; also include an empty read.
+  std::vector<std::vector<seq::BaseCode>> reads(3);
+  reads[1].assign(200, seq::kBaseN);
+  std::size_t extender_calls = 0;
+  BatchExtender counting = [&](const seq::PairBatch& batch) {
+    ++extender_calls;
+    return align::align_batch(batch, mapper.params().scoring);
+  };
+  auto mappings = mapper.map_batch(reads, counting);
+  ASSERT_EQ(mappings.size(), 3u);
+  EXPECT_FALSE(mappings[0].mapped);
+  EXPECT_FALSE(mappings[1].mapped);
+  // No jobs → the extender is never invoked with an empty batch.
+  EXPECT_EQ(extender_calls, 0u);
 }
 
 TEST(Pipeline, SeedsOfExposesForwardSeeds) {

@@ -1,0 +1,64 @@
+// NamedRegistry: alias resolution, deterministic listing order, and the
+// self-diagnosing unknown-name error message.
+#include "util/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+namespace saloba::util {
+namespace {
+
+using IntFactory = std::function<int()>;
+using Registry = NamedRegistry<IntFactory>;
+
+Registry two_entry_registry() {
+  Registry reg("widget");
+  reg.add({"beta", {"b", "B"}, [] { return 2; }, 20});
+  reg.add({"alpha", {}, [] { return 1; }, 10});
+  return reg;
+}
+
+TEST(NamedRegistry, ResolvesCanonicalNamesAndAliases) {
+  auto reg = two_entry_registry();
+  EXPECT_EQ(reg.at("alpha").factory(), 1);
+  EXPECT_EQ(reg.at("beta").factory(), 2);
+  EXPECT_EQ(reg.at("b").factory(), 2);
+  EXPECT_EQ(reg.at("B").factory(), 2);
+  EXPECT_EQ(reg.at("b").canonical, "beta");
+}
+
+TEST(NamedRegistry, FindReturnsNullOnMiss) {
+  auto reg = two_entry_registry();
+  EXPECT_EQ(reg.find("gamma"), nullptr);
+  EXPECT_NE(reg.find("alpha"), nullptr);
+}
+
+TEST(NamedRegistry, NamesOrderedByRankNotRegistration) {
+  auto reg = two_entry_registry();  // beta registered first but ranked later
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(NamedRegistry, UnknownNameMessageListsValidNames) {
+  auto reg = two_entry_registry();
+  try {
+    reg.at("gamma");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown widget"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'gamma'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("alpha"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("beta"), std::string::npos) << msg;
+  }
+}
+
+TEST(NamedRegistry, DuplicateRegistrationThrows) {
+  auto reg = two_entry_registry();
+  EXPECT_THROW(reg.add({"alpha", {}, [] { return 3; }, 30}), std::logic_error);
+  EXPECT_THROW(reg.add({"fresh", {"b"}, [] { return 3; }, 30}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace saloba::util
