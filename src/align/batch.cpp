@@ -7,12 +7,16 @@
 namespace saloba::align {
 
 std::vector<AlignmentResult> align_batch(const seq::PairBatch& batch,
-                                         const ScoringScheme& scoring, BatchTiming* timing) {
+                                         const ScoringScheme& scoring, BatchTiming* timing,
+                                         int threads) {
   util::Timer timer;
   std::vector<AlignmentResult> results(batch.size());
-  util::parallel_for_indexed(batch.size(), [&](std::size_t i) {
-    results[i] = smith_waterman(batch.refs[i], batch.queries[i], scoring);
-  });
+  util::parallel_for_indexed(
+      batch.size(),
+      [&](std::size_t i) {
+        results[i] = smith_waterman(batch.refs[i], batch.queries[i], scoring);
+      },
+      threads);
   if (timing) {
     timing->wall_ms = timer.millis();
     timing->cells = batch.total_cells();

@@ -17,9 +17,10 @@ struct BatchTiming {
 };
 
 /// Aligns every (query, ref) pair; OpenMP-parallel across pairs when
-/// available. Deterministic: output order matches input order.
+/// available, capped at `threads` host threads (0 = the default team).
+/// Deterministic: output order matches input order.
 std::vector<AlignmentResult> align_batch(const seq::PairBatch& batch,
                                          const ScoringScheme& scoring,
-                                         BatchTiming* timing = nullptr);
+                                         BatchTiming* timing = nullptr, int threads = 0);
 
 }  // namespace saloba::align

@@ -1,5 +1,7 @@
 #include "core/autotune.hpp"
 
+#include <algorithm>
+
 namespace saloba::core {
 
 int recommend_subwarp_size(const DatasetStats& stats) {
@@ -20,6 +22,30 @@ kernels::SalobaConfig recommend_config(const DatasetStats& stats) {
   config.subwarp_size = recommend_subwarp_size(stats);
   config.lazy_spill = true;
   return config;
+}
+
+SchedulerOptions recommend_scheduler(const DatasetStats& stats, int lanes) {
+  SchedulerOptions opts;  // kSorted, one shard per lane
+  if (lanes < 1) lanes = 1;
+  if (stats.jobs == 0) return opts;  // nothing to schedule; defaults are safe
+
+  const double skew = std::max(stats.cv_query_len, stats.cv_ref_len);
+  if (skew <= 0.25) {
+    // Near-uniform lengths: any split is balanced, so keep one shard per
+    // lane; on a single lane, static packing preserves the scheduler's
+    // no-copy single-launch fast path.
+    if (lanes == 1) opts.policy = gpusim::SplitPolicy::kStatic;
+    return opts;
+  }
+
+  // Skewed lengths: sorted packing with ~4 shards per lane bounds the tail
+  // a long shard can add to the makespan while keeping dispatch overhead
+  // amortised. No cap when the batch is too small to fill that many shards.
+  const std::size_t target_shards = static_cast<std::size_t>(lanes) * 4;
+  if (stats.jobs > target_shards) {
+    opts.max_shard_pairs = (stats.jobs + target_shards - 1) / target_shards;
+  }
+  return opts;
 }
 
 }  // namespace saloba::core

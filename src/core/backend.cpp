@@ -1,20 +1,33 @@
 #include "core/backend.hpp"
 
+#include <algorithm>
+
 #include "align/batch.hpp"
 #include "gpusim/device_registry.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace saloba::core {
 
-CpuBackend::CpuBackend(align::ScoringScheme scoring) : scoring_(scoring) {
+CpuBackend::CpuBackend(align::ScoringScheme scoring, int lanes, int threads_total)
+    : scoring_(scoring), lanes_(lanes) {
   SALOBA_CHECK_MSG(scoring_.valid(), "invalid scoring scheme");
+  SALOBA_CHECK_MSG(lanes_ >= 1, "CPU backend needs at least one lane");
+  if (lanes_ > 1) {
+    // Divide the host budget so concurrent lanes share, not fight over,
+    // the cores. A single lane keeps the library-default team.
+    int total = threads_total > 0 ? threads_total : util::max_parallel_threads();
+    threads_per_lane_ = std::max(1, total / lanes_);
+  } else if (threads_total > 0) {
+    threads_per_lane_ = threads_total;
+  }
 }
 
 BackendOutput CpuBackend::run(const seq::PairBatch& batch, int lane) {
-  SALOBA_CHECK_MSG(lane == 0, "CPU backend has a single lane");
+  SALOBA_CHECK_MSG(lane >= 0 && lane < lanes_, "lane " << lane << " out of range");
   align::BatchTiming timing;
   BackendOutput out;
-  out.results = align::align_batch(batch, scoring_, &timing);
+  out.results = align::align_batch(batch, scoring_, &timing, threads_per_lane_);
   out.time_ms = timing.wall_ms;
   return out;
 }
@@ -46,7 +59,8 @@ BackendOutput SimulatedGpuBackend::run(const seq::PairBatch& batch, int lane) {
 
 std::unique_ptr<AlignBackend> make_backend(const AlignerOptions& options) {
   if (options.backend == Backend::kCpu) {
-    return std::make_unique<CpuBackend>(options.scoring);
+    return std::make_unique<CpuBackend>(options.scoring, options.cpu_lanes,
+                                        options.cpu_threads);
   }
   return std::make_unique<SimulatedGpuBackend>(options);
 }

@@ -45,19 +45,25 @@ class AlignBackend {
   virtual BackendOutput run(const seq::PairBatch& batch, int lane) = 0;
 };
 
-/// The host OpenMP batch aligner (align::align_batch). Single-lane: its
-/// timing is real wall-clock, so concurrent shard runs would fight for the
-/// same cores and skew it.
+/// The host OpenMP batch aligner (align::align_batch). One lane by default;
+/// `lanes > 1` splits the host into independent lanes the scheduler may run
+/// concurrently, each budgeted `threads_total / lanes` OpenMP threads
+/// (threads_total 0 = hardware concurrency) so overlapping shard runs never
+/// oversubscribe the machine and wall-clock timing stays honest.
 class CpuBackend final : public AlignBackend {
  public:
-  explicit CpuBackend(align::ScoringScheme scoring);
+  explicit CpuBackend(align::ScoringScheme scoring, int lanes = 1, int threads_total = 0);
 
   const std::string& name() const override { return name_; }
-  int lanes() const override { return 1; }
+  int lanes() const override { return lanes_; }
+  /// OpenMP thread cap per lane run; 0 = the default team (single lane).
+  int threads_per_lane() const { return threads_per_lane_; }
   BackendOutput run(const seq::PairBatch& batch, int lane) override;
 
  private:
   align::ScoringScheme scoring_;
+  int lanes_ = 1;
+  int threads_per_lane_ = 0;
   std::string name_ = "cpu";
 };
 

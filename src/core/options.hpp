@@ -38,6 +38,13 @@ struct AlignerOptions {
   gpusim::SplitPolicy split_policy = gpusim::SplitPolicy::kSorted;
   /// Worker threads for async shard dispatch (0 = one per device lane).
   std::size_t scheduler_threads = 0;
+  /// CPU backend lanes (>= 1): more than one splits the host into
+  /// independent lanes the scheduler can overlap, each budgeted
+  /// cpu_threads / cpu_lanes OpenMP threads so concurrent shards never
+  /// oversubscribe the machine.
+  int cpu_lanes = 1;
+  /// Total host threads the CPU backend may use (0 = hardware concurrency).
+  int cpu_threads = 0;
 };
 
 }  // namespace saloba::core

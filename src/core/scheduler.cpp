@@ -8,7 +8,6 @@
 #include "util/check.hpp"
 
 namespace saloba::core {
-namespace {
 
 void accumulate_breakdown(gpusim::TimeBreakdown& into, const gpusim::TimeBreakdown& from) {
   into.compute_ms += from.compute_ms;
@@ -19,6 +18,8 @@ void accumulate_breakdown(gpusim::TimeBreakdown& into, const gpusim::TimeBreakdo
   into.dram_bytes += from.dram_bytes;
   into.sm_imbalance = std::max(into.sm_imbalance, from.sm_imbalance);
 }
+
+namespace {
 
 double gcups_at(std::size_t cells, double time_ms) {
   return time_ms > 0 ? static_cast<double>(cells) / (time_ms * 1e6) : 0.0;

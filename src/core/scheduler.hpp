@@ -43,6 +43,10 @@ struct ScheduleReport {
   double imbalance = 0.0;    ///< makespan / mean busy-lane time (1 = balanced)
 };
 
+/// Component-wise accumulation of simulated time breakdowns — shared by the
+/// scheduler's shard merge and the streaming merger (stream_aligner.cpp).
+void accumulate_breakdown(gpusim::TimeBreakdown& into, const gpusim::TimeBreakdown& from);
+
 struct AlignOutput {
   /// One result per input pair, in input order regardless of sharding.
   std::vector<align::AlignmentResult> results;

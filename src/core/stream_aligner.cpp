@@ -1,0 +1,329 @@
+#include "core/stream_aligner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/autotune.hpp"
+#include "core/workload.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace saloba::core {
+namespace {
+
+/// A chunk travelling reader → worker, tagged for order restoration.
+struct InChunk {
+  std::size_t index = 0;
+  std::size_t first_pair = 0;
+  seq::PairBatch batch;
+};
+
+/// A chunk travelling worker → merger.
+struct OutChunk {
+  std::size_t index = 0;
+  std::size_t first_pair = 0;
+  std::size_t pairs = 0;
+  AlignOutput output;
+};
+
+bool same_schedule(const SchedulerOptions& a, const SchedulerOptions& b) {
+  return a.max_shard_pairs == b.max_shard_pairs && a.policy == b.policy &&
+         a.threads == b.threads;
+}
+
+void raise_peak(std::atomic<std::size_t>& peak, std::size_t value) {
+  std::size_t cur = peak.load(std::memory_order_relaxed);
+  while (value > cur && !peak.compare_exchange_weak(cur, value)) {
+  }
+}
+
+}  // namespace
+
+ResidentChunkSource::ResidentChunkSource(const seq::PairBatch& batch, std::size_t chunk_pairs)
+    : batch_(&batch), chunk_pairs_(chunk_pairs < 1 ? 1 : chunk_pairs) {}
+
+bool ResidentChunkSource::next(seq::PairBatch& chunk) {
+  chunk = seq::PairBatch{};
+  if (cursor_ >= batch_->size()) return false;
+  std::size_t end = std::min(cursor_ + chunk_pairs_, batch_->size());
+  for (std::size_t i = cursor_; i < end; ++i) {
+    chunk.add(batch_->queries[i], batch_->refs[i]);
+  }
+  cursor_ = end;
+  return true;
+}
+
+ReaderPairSource::ReaderPairSource(seq::SequenceChunkReader& queries,
+                                   seq::SequenceChunkReader& refs)
+    : queries_(&queries), refs_(&refs) {}
+
+bool ReaderPairSource::next(seq::PairBatch& chunk) {
+  chunk = seq::PairBatch{};
+  // Pull matching record counts regardless of the two readers' chunk sizes.
+  std::size_t want = std::min(queries_->chunk_records(), refs_->chunk_records());
+  seq::Sequence q, r;
+  for (std::size_t i = 0; i < want; ++i) {
+    bool have_q = queries_->read_record(q);
+    bool have_r = refs_->read_record(r);
+    if (have_q != have_r) {
+      throw std::runtime_error(
+          have_q ? "reference stream ended before query stream (record " +
+                       std::to_string(queries_->records_read()) + ")"
+                 : "query stream ended before reference stream (record " +
+                       std::to_string(refs_->records_read()) + ")");
+    }
+    if (!have_q) break;
+    chunk.add(std::move(q.bases), std::move(r.bases));
+  }
+  return chunk.size() > 0;
+}
+
+StreamAligner::StreamAligner(AlignerOptions options, StreamOptions stream)
+    : options_(std::move(options)), stream_(stream) {
+  SALOBA_CHECK_MSG(options_.scoring.valid(), "invalid scoring scheme");
+  if (stream_.chunk_pairs < 1) stream_.chunk_pairs = 1;
+  if (stream_.queue_capacity < 1) stream_.queue_capacity = 1;
+  if (stream_.align_threads < 1) stream_.align_threads = 1;
+  backend_ = make_backend(options_);
+}
+
+StreamAligner::~StreamAligner() = default;
+StreamAligner::StreamAligner(StreamAligner&&) noexcept = default;
+StreamAligner& StreamAligner::operator=(StreamAligner&&) noexcept = default;
+
+StreamStats StreamAligner::run(PairChunkSource& source, const ChunkSink& sink) {
+  util::Timer timer;
+  const int lanes = backend_->lanes();
+  StreamStats stats;
+  stats.lane_ms.assign(static_cast<std::size_t>(lanes), 0.0);
+
+  // One ticket per in-flight chunk: the reader takes one before parsing,
+  // the merger returns it after emitting — the pipeline-wide residency
+  // bound, independent of where a chunk currently sits.
+  const std::size_t budget = stream_.queue_capacity;
+  util::BoundedQueue<char> tickets(budget);
+  util::BoundedQueue<InChunk> input(budget);
+  util::BoundedQueue<OutChunk> output(budget);
+
+  std::mutex failure_mutex;
+  std::exception_ptr failure;
+  std::atomic<bool> aborted{false};
+  auto record_failure = [&](std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(failure_mutex);
+      if (!failure) failure = e;
+    }
+    aborted.store(true);
+    // Unblock every stage: pending pushes fail, pops drain then stop.
+    tickets.close();
+    input.close();
+    output.close();
+  };
+
+  std::atomic<std::size_t> resident_pairs{0};
+  std::atomic<std::size_t> resident_chunks{0};
+  std::atomic<std::size_t> peak_pairs{0};
+  std::atomic<std::size_t> peak_chunks{0};
+
+  std::thread reader([&] {
+    try {
+      std::size_t index = 0;
+      std::size_t first_pair = 0;
+      seq::PairBatch chunk;
+      for (;;) {
+        // Take the residency ticket BEFORE parsing, so even the chunk in
+        // the reader's hands counts against the budget — never more than
+        // `budget` chunks exist anywhere.
+        if (!tickets.push(0)) return;  // pipeline shut down
+        bool have = false;
+        while (source.next(chunk)) {
+          if (chunk.size() > 0) {
+            have = true;
+            break;
+          }
+        }
+        if (!have) {
+          input.close();  // end of stream: workers drain and stop
+          return;
+        }
+        InChunk in;
+        in.index = index++;
+        in.first_pair = first_pair;
+        first_pair += chunk.size();
+        in.batch = std::move(chunk);
+        chunk = seq::PairBatch{};
+        raise_peak(peak_pairs, resident_pairs.fetch_add(in.batch.size()) + in.batch.size());
+        raise_peak(peak_chunks, resident_chunks.fetch_add(1) + 1);
+        if (!input.push(std::move(in))) return;
+      }
+    } catch (...) {
+      record_failure(std::current_exception());
+    }
+  });
+
+  // Align workers: a single worker consumes on the primary backend; with
+  // several, every worker owns a replica so no lane is ever shared across
+  // threads — and CPU replicas split the host thread budget between them
+  // (the no-oversubscription promise of CpuBackend, one level up).
+  const std::size_t n_workers = stream_.align_threads;
+  std::vector<std::unique_ptr<AlignBackend>> replicas;
+  std::vector<AlignBackend*> worker_backends;
+  if (n_workers == 1) {
+    worker_backends.push_back(backend_.get());
+  } else {
+    AlignerOptions wopts = options_;
+    if (options_.backend == Backend::kCpu) {
+      int total =
+          options_.cpu_threads > 0 ? options_.cpu_threads : util::max_parallel_threads();
+      wopts.cpu_threads = std::max(1, total / static_cast<int>(n_workers));
+    }
+    for (std::size_t w = 0; w < n_workers; ++w) {
+      replicas.push_back(make_backend(wopts));
+      worker_backends.push_back(replicas.back().get());
+    }
+  }
+  std::atomic<std::size_t> live_workers{n_workers};
+
+  auto worker_loop = [&](AlignBackend* backend) {
+    try {
+      // A small per-worker scheduler cache: autotuned options oscillate
+      // between a handful of configurations (chunk stats hover around the
+      // skew threshold, the final partial chunk changes the cap), and
+      // rebuilding a BatchScheduler would respawn its thread pool.
+      std::vector<std::pair<SchedulerOptions, std::unique_ptr<BatchScheduler>>> cache;
+      while (auto in = input.pop()) {
+        if (aborted.load()) return;  // don't align chunks nobody will emit
+        SchedulerOptions wanted;
+        if (stream_.schedule) {
+          wanted = *stream_.schedule;
+        } else if (stream_.autotune_schedule) {
+          wanted = recommend_scheduler(stats_of(in->batch), backend->lanes());
+          wanted.threads = options_.scheduler_threads;
+        } else {
+          wanted.max_shard_pairs = options_.max_shard_pairs;
+          wanted.policy = options_.split_policy;
+          wanted.threads = options_.scheduler_threads;
+        }
+        BatchScheduler* sched = nullptr;
+        for (auto& [opts, cached] : cache) {
+          if (same_schedule(wanted, opts)) {
+            sched = cached.get();
+            break;
+          }
+        }
+        if (!sched) {
+          cache.emplace_back(wanted, std::make_unique<BatchScheduler>(backend, wanted));
+          sched = cache.back().second.get();
+        }
+        OutChunk out;
+        out.index = in->index;
+        out.first_pair = in->first_pair;
+        out.pairs = in->batch.size();
+        out.output = sched->run(in->batch);
+        if (!output.push(std::move(out))) return;
+      }
+    } catch (...) {
+      record_failure(std::current_exception());
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    AlignBackend* backend = worker_backends[w];
+    workers.emplace_back([&, backend] {
+      worker_loop(backend);
+      if (live_workers.fetch_sub(1) == 1) output.close();  // last one out
+    });
+  }
+
+  // Merger, on the caller's thread: restore input order, aggregate running
+  // stats, hand each chunk to the sink, release its residency ticket.
+  try {
+    std::map<std::size_t, OutChunk> pending;
+    std::size_t next_index = 0;
+    while (auto out = output.pop()) {
+      pending.emplace(out->index, std::move(*out));
+      for (auto it = pending.find(next_index); it != pending.end();
+           it = pending.find(++next_index)) {
+        OutChunk& ready = it->second;
+        ++stats.chunks;
+        stats.pairs += ready.pairs;
+        stats.cells += ready.output.cells;
+        stats.shards += ready.output.schedule.shards;
+        stats.align_ms += ready.output.time_ms;
+        SALOBA_CHECK_MSG(ready.output.schedule.lane_ms.size() == stats.lane_ms.size(),
+                         "chunk ran on a backend with a different lane count");
+        for (std::size_t l = 0; l < stats.lane_ms.size(); ++l) {
+          stats.lane_ms[l] += ready.output.schedule.lane_ms[l];
+        }
+        if (sink) sink(ready.index, ready.first_pair, std::move(ready.output));
+        resident_pairs.fetch_sub(ready.pairs);
+        resident_chunks.fetch_sub(1);
+        tickets.pop();  // free one in-flight slot for the reader
+        pending.erase(it);
+      }
+    }
+  } catch (...) {
+    record_failure(std::current_exception());
+  }
+
+  reader.join();
+  for (auto& w : workers) w.join();
+  if (failure) std::rethrow_exception(failure);
+
+  stats.wall_ms = timer.millis();
+  stats.gcups =
+      stats.align_ms > 0 ? static_cast<double>(stats.cells) / (stats.align_ms * 1e6) : 0.0;
+  stats.peak_resident_pairs = peak_pairs.load();
+  stats.peak_resident_chunks = peak_chunks.load();
+  return stats;
+}
+
+AlignOutput StreamAligner::align_streamed(const seq::PairBatch& batch) {
+  ResidentChunkSource source(batch, stream_.chunk_pairs);
+  AlignOutput total;
+  total.results.resize(batch.size());
+  StreamStats stats =
+      run(source, [&](std::size_t, std::size_t first_pair, AlignOutput&& chunk) {
+        std::copy(chunk.results.begin(), chunk.results.end(),
+                  total.results.begin() + static_cast<std::ptrdiff_t>(first_pair));
+        if (chunk.kernel_stats) {
+          if (!total.kernel_stats) total.kernel_stats.emplace();
+          total.kernel_stats->merge(*chunk.kernel_stats);
+        }
+        if (chunk.time_breakdown) {
+          if (!total.time_breakdown) total.time_breakdown.emplace();
+          accumulate_breakdown(*total.time_breakdown, *chunk.time_breakdown);
+        }
+      });
+
+  total.cells = stats.cells;
+  total.time_ms = stats.align_ms;
+  total.gcups = stats.gcups;
+  total.schedule.shards = stats.shards;
+  total.schedule.lanes = backend_->lanes();
+  total.schedule.lane_ms = stats.lane_ms;
+  total.schedule.makespan_ms = stats.align_ms;
+  double sum = 0.0;
+  int busy = 0;
+  for (double ms : total.schedule.lane_ms) {
+    sum += ms;
+    busy += ms > 0.0;
+  }
+  // Chunks serialize on the stream, so "makespan" here is the summed chunk
+  // makespan; imbalance still compares busy-lane means against it.
+  total.schedule.imbalance =
+      busy > 0 && sum > 0.0 ? total.schedule.makespan_ms / (sum / busy) : 0.0;
+  return total;
+}
+
+}  // namespace saloba::core

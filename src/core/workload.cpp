@@ -52,6 +52,25 @@ DatasetBatch make_dataset(const std::vector<seq::BaseCode>& genome, std::size_t 
 
 }  // namespace
 
+DatasetStats stats_of(const seq::PairBatch& batch) {
+  DatasetStats stats;
+  stats.jobs = batch.size();
+  std::vector<double> qlens, rlens;
+  qlens.reserve(batch.size());
+  rlens.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    qlens.push_back(static_cast<double>(batch.queries[i].size()));
+    rlens.push_back(static_cast<double>(batch.refs[i].size()));
+    stats.max_query_len = std::max(stats.max_query_len, batch.queries[i].size());
+    stats.max_ref_len = std::max(stats.max_ref_len, batch.refs[i].size());
+  }
+  stats.mean_query_len = util::mean(qlens);
+  stats.mean_ref_len = util::mean(rlens);
+  stats.cv_query_len = util::coeff_variation(qlens);
+  stats.cv_ref_len = util::coeff_variation(rlens);
+  return stats;
+}
+
 std::vector<seq::BaseCode> make_genome(std::size_t length, std::uint64_t seed) {
   seq::GenomeParams params;
   params.length = length;

@@ -37,6 +37,11 @@ struct DatasetBatch {
   DatasetStats stats;
 };
 
+/// Stats of an already-built batch — the streaming path computes these per
+/// chunk to autotune kernel and scheduler configs (`reads` is left 0: a
+/// bare batch no longer knows which reads produced it).
+DatasetStats stats_of(const seq::PairBatch& batch);
+
 /// Dataset A' (SRR835433 stand-in): 250 bp Illumina-like reads through the
 /// seed-and-extend pipeline; returns the extension-job batch.
 DatasetBatch make_dataset_a(const std::vector<seq::BaseCode>& genome, std::size_t reads,

@@ -1,10 +1,17 @@
 #include "seedext/pipeline.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <thread>
 
 #include "align/sw_reference.hpp"
+#include "seedext/sam_output.hpp"
+#include "seq/chunk_reader.hpp"
+#include "seq/sam.hpp"
+#include "util/bounded_queue.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
+#include "util/timer.hpp"
 
 namespace saloba::seedext {
 
@@ -135,6 +142,69 @@ std::vector<ReadMapping> ReadMapper::map_batch(
     out[i] = finalize(prepared[i], slice);
   }
   return out;
+}
+
+StreamMapStats ReadMapper::map_stream(
+    seq::SequenceChunkReader& reader, const BatchExtender& extend,
+    const std::function<void(const seq::Sequence&, const ReadMapping&)>& sink,
+    std::size_t queue_capacity) const {
+  util::Timer timer;
+  StreamMapStats stats;
+  util::BoundedQueue<seq::SequenceChunk> queue(queue_capacity);
+
+  // Producer: parse chunks while the consumer maps the previous ones. The
+  // bounded queue is the residency cap; closing it (consumer failure) makes
+  // the pending push fail, so the producer always joins.
+  std::exception_ptr read_failure;
+  std::thread producer([&] {
+    try {
+      seq::SequenceChunk chunk;
+      while (reader.next(chunk)) {
+        if (!queue.push(std::move(chunk))) return;
+        chunk = seq::SequenceChunk{};
+      }
+      queue.close();
+    } catch (...) {
+      read_failure = std::current_exception();
+      queue.close();
+    }
+  });
+
+  try {
+    while (auto chunk = queue.pop()) {
+      std::vector<std::vector<seq::BaseCode>> read_seqs;
+      read_seqs.reserve(chunk->records.size());
+      for (const auto& r : chunk->records) read_seqs.push_back(r.bases);
+      auto mappings = map_batch(read_seqs, extend);
+      for (std::size_t i = 0; i < mappings.size(); ++i) {
+        stats.mapped += mappings[i].mapped ? 1 : 0;
+        if (sink) sink(chunk->records[i], mappings[i]);
+      }
+      stats.reads += mappings.size();
+      ++stats.chunks;
+    }
+  } catch (...) {
+    queue.close();
+    producer.join();
+    throw;
+  }
+
+  producer.join();
+  if (read_failure) std::rethrow_exception(read_failure);
+  stats.wall_ms = timer.millis();
+  return stats;
+}
+
+StreamMapStats ReadMapper::map_stream(seq::SequenceChunkReader& reader,
+                                      const BatchExtender& extend, seq::SamWriter& writer,
+                                      const std::string& reference_name,
+                                      std::size_t queue_capacity) const {
+  return map_stream(
+      reader, extend,
+      [&](const seq::Sequence& read, const ReadMapping& mapping) {
+        writer.write(to_sam_record(*this, read, mapping, reference_name));
+      },
+      queue_capacity);
 }
 
 std::vector<ExtensionJob> ReadMapper::collect_jobs(

@@ -19,6 +19,11 @@
 #include "seedext/seeding.hpp"
 #include "seq/sequence.hpp"
 
+namespace saloba::seq {
+class SequenceChunkReader;  // seq/chunk_reader.hpp
+class SamWriter;            // seq/sam.hpp
+}  // namespace saloba::seq
+
 namespace saloba::seedext {
 
 struct MapperParams {
@@ -35,6 +40,14 @@ struct ReadMapping {
   std::size_t ref_pos = 0;      ///< inferred 0-based genome start of the read
   bool reverse_strand = false;
   align::Score score = 0;       ///< seed matches + extension scores
+};
+
+/// Aggregates of one map_stream run.
+struct StreamMapStats {
+  std::size_t reads = 0;
+  std::size_t mapped = 0;
+  std::size_t chunks = 0;
+  double wall_ms = 0.0;
 };
 
 /// A batch extension engine: aligns every (query, reference) pair of a
@@ -68,6 +81,28 @@ class ReadMapper {
   /// map_batch(reads) for any extender that matches the CPU reference.
   std::vector<ReadMapping> map_batch(std::span<const std::vector<seq::BaseCode>> reads,
                                      const BatchExtender& extend) const;
+
+  /// Streaming Sec. V-D pipeline: a reader thread pulls SequenceChunks from
+  /// `reader` through a bounded queue (capacity `queue_capacity` chunks of
+  /// backpressure) while the calling thread maps each chunk — seeding and
+  /// chaining host-parallel, extensions batched through `extend` — and
+  /// hands every (read, mapping) to `sink` in input order. Never more than
+  /// queue_capacity + 2 chunks of reads are resident (the queue, plus the
+  /// chunk in the producer's hands and the one being mapped). Mappings are
+  /// identical to map_batch over the same reads. Exceptions from the
+  /// reader, the extender, or the sink shut the pipeline down cleanly and
+  /// rethrow here.
+  StreamMapStats map_stream(
+      seq::SequenceChunkReader& reader, const BatchExtender& extend,
+      const std::function<void(const seq::Sequence&, const ReadMapping&)>& sink,
+      std::size_t queue_capacity = 4) const;
+
+  /// map_stream writing SAM records incrementally (seedext::to_sam_record)
+  /// as each chunk completes — constant-memory FASTQ-to-SAM.
+  StreamMapStats map_stream(seq::SequenceChunkReader& reader, const BatchExtender& extend,
+                            seq::SamWriter& writer,
+                            const std::string& reference_name = "synthetic",
+                            std::size_t queue_capacity = 4) const;
 
   /// Extracts every extension job the given reads generate (best strand,
   /// all surviving chains) — the kernel workload of Fig. 2 / Fig. 8.

@@ -1,0 +1,111 @@
+#include "seq/chunk_reader.hpp"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace saloba::seq {
+namespace {
+
+void truncate_at_whitespace(std::string& name) {
+  // Truncate the header at the first whitespace, as aligners do.
+  if (auto ws = name.find_first_of(" \t"); ws != std::string::npos) name.resize(ws);
+}
+
+}  // namespace
+
+SequenceChunkReader::SequenceChunkReader(std::istream& in, std::size_t chunk_records)
+    : in_(in), chunk_records_(chunk_records < 1 ? 1 : chunk_records) {}
+
+bool SequenceChunkReader::next_line(std::string& line) {
+  if (!std::getline(in_, line)) return false;
+  ++line_no_;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+void SequenceChunkReader::fail(const char* what, std::size_t line_no) const {
+  std::ostringstream oss;
+  oss << "FASTA/FASTQ parse error at line " << line_no << ": " << what;
+  throw std::runtime_error(oss.str());
+}
+
+bool SequenceChunkReader::read_record(Sequence& out) {
+  out = Sequence{};
+  if (!parse_record(out)) return false;
+  ++records_read_;
+  return true;
+}
+
+bool SequenceChunkReader::next(SequenceChunk& chunk) {
+  chunk.index = chunks_read_;
+  chunk.first_record = records_read_;
+  chunk.records.clear();
+  Sequence record;
+  while (chunk.records.size() < chunk_records_ && read_record(record)) {
+    chunk.records.push_back(std::move(record));
+  }
+  if (chunk.records.empty()) return false;
+  ++chunks_read_;
+  return true;
+}
+
+FastqChunkReader::FastqChunkReader(std::istream& in, std::size_t chunk_records)
+    : SequenceChunkReader(in, chunk_records) {}
+
+bool FastqChunkReader::parse_record(Sequence& out) {
+  std::string header;
+  do {
+    if (!next_line(header)) return false;
+  } while (header.empty());
+  if (header[0] != '@') fail("expected '@' record header", line_no_);
+
+  std::string bases, plus, quality;
+  if (!next_line(bases)) fail("missing sequence line", line_no_ + 1);
+  if (!next_line(plus)) fail("missing '+' line", line_no_ + 1);
+  if (plus.empty() || plus[0] != '+') fail("expected '+' separator", line_no_);
+  if (!next_line(quality)) fail("missing quality line", line_no_ + 1);
+  if (quality.size() != bases.size()) fail("quality length != sequence length", line_no_);
+
+  out.name = header.substr(1);
+  truncate_at_whitespace(out.name);
+  out.bases.reserve(bases.size());
+  for (char c : bases) out.bases.push_back(encode_base(c));
+  out.quality = std::move(quality);
+  return true;
+}
+
+FastaChunkReader::FastaChunkReader(std::istream& in, std::size_t chunk_records)
+    : SequenceChunkReader(in, chunk_records) {}
+
+bool FastaChunkReader::parse_record(Sequence& out) {
+  std::string header;
+  if (pending_header_) {
+    header = std::move(*pending_header_);
+    pending_header_.reset();
+  } else {
+    std::string line;
+    for (;;) {
+      if (!next_line(line)) return false;
+      if (line.empty()) continue;
+      if (line[0] != '>') fail("sequence data before first '>' header", line_no_);
+      header = line.substr(1);
+      break;
+    }
+  }
+  out.name = std::move(header);
+  truncate_at_whitespace(out.name);
+
+  std::string line;
+  while (next_line(line)) {
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      pending_header_ = line.substr(1);  // start of the next record
+      break;
+    }
+    for (char c : line) out.bases.push_back(encode_base(c));
+  }
+  return true;
+}
+
+}  // namespace saloba::seq

@@ -1,0 +1,98 @@
+// Incremental FASTA / FASTQ ingestion for the streaming pipeline: readers
+// that yield SequenceChunks of a configurable record count from any
+// std::istream, so a workload never has to be fully resident. The parsers
+// are the same tolerant ones behind read_fasta / read_fastq (in fact those
+// are now implemented on top of these readers): line-length agnostic,
+// CRLF- and blank-line-tolerant, strict about record structure — a
+// truncated or malformed record throws std::runtime_error with the
+// offending line number.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace saloba::seq {
+
+/// A contiguous slice of an input stream's records, tagged with its position
+/// so downstream stages can restore global order.
+struct SequenceChunk {
+  std::size_t index = 0;         ///< 0-based chunk ordinal within the stream
+  std::size_t first_record = 0;  ///< stream index of records[0]
+  std::vector<Sequence> records;
+
+  std::size_t size() const { return records.size(); }
+  bool empty() const { return records.empty(); }
+};
+
+/// Pull-model chunk reader over one std::istream. Not thread-safe; one
+/// pipeline stage owns the reader. The stream must outlive the reader.
+class SequenceChunkReader {
+ public:
+  /// Yields at most `chunk_records` records per chunk (>= 1).
+  explicit SequenceChunkReader(std::istream& in, std::size_t chunk_records = 4096);
+  virtual ~SequenceChunkReader() = default;
+
+  SequenceChunkReader(const SequenceChunkReader&) = delete;
+  SequenceChunkReader& operator=(const SequenceChunkReader&) = delete;
+
+  /// Fills `chunk` with the next records of the stream (previous contents
+  /// discarded). Returns false — leaving `chunk` empty — once the stream is
+  /// exhausted. Throws std::runtime_error on malformed input.
+  bool next(SequenceChunk& chunk);
+
+  /// Single-record pull; false at end of stream.
+  bool read_record(Sequence& out);
+
+  std::size_t chunk_records() const { return chunk_records_; }
+  std::size_t records_read() const { return records_read_; }
+  std::size_t chunks_read() const { return chunks_read_; }
+  /// 1-based number of the last line consumed (0 before any read).
+  std::size_t line_number() const { return line_no_; }
+
+ protected:
+  virtual bool parse_record(Sequence& out) = 0;
+
+  /// getline + CRLF strip + line accounting; false at end of stream.
+  bool next_line(std::string& line);
+  [[noreturn]] void fail(const char* what, std::size_t line_no) const;
+
+  std::istream& in_;
+  std::size_t line_no_ = 0;
+
+ private:
+  std::size_t chunk_records_;
+  std::size_t records_read_ = 0;
+  std::size_t chunks_read_ = 0;
+};
+
+/// FASTQ: 4-line records ('@' header, bases, '+' separator, quality of
+/// matching length). A record truncated by EOF throws, naming the line
+/// where the missing piece should have been.
+class FastqChunkReader final : public SequenceChunkReader {
+ public:
+  explicit FastqChunkReader(std::istream& in, std::size_t chunk_records = 4096);
+
+ protected:
+  bool parse_record(Sequence& out) override;
+};
+
+/// FASTA: '>' headers with any number of sequence lines (multi-line records
+/// reassemble across chunk boundaries — a boundary can never split a
+/// record, because chunks are measured in whole records).
+class FastaChunkReader final : public SequenceChunkReader {
+ public:
+  explicit FastaChunkReader(std::istream& in, std::size_t chunk_records = 4096);
+
+ protected:
+  bool parse_record(Sequence& out) override;
+
+ private:
+  std::optional<std::string> pending_header_;  ///< '>' line already consumed
+};
+
+}  // namespace saloba::seq

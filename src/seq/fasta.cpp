@@ -1,21 +1,12 @@
 #include "seq/fasta.hpp"
 
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+
+#include "seq/chunk_reader.hpp"
 
 namespace saloba::seq {
 namespace {
-
-void strip_cr(std::string& line) {
-  if (!line.empty() && line.back() == '\r') line.pop_back();
-}
-
-[[noreturn]] void parse_error(const char* what, std::size_t line_no) {
-  std::ostringstream oss;
-  oss << "FASTA/FASTQ parse error at line " << line_no << ": " << what;
-  throw std::runtime_error(oss.str());
-}
 
 std::ifstream open_or_throw(const std::string& path) {
   std::ifstream in(path);
@@ -29,34 +20,21 @@ std::ofstream create_or_throw(const std::string& path) {
   return out;
 }
 
+// The non-chunked readers are the chunked ones run to exhaustion, so the
+// two paths cannot drift apart (tolerances, error messages, header
+// truncation — one parser each).
+std::vector<Sequence> drain(SequenceChunkReader& reader) {
+  std::vector<Sequence> seqs;
+  Sequence record;
+  while (reader.read_record(record)) seqs.push_back(std::move(record));
+  return seqs;
+}
+
 }  // namespace
 
 std::vector<Sequence> read_fasta(std::istream& in) {
-  std::vector<Sequence> seqs;
-  std::string line;
-  std::size_t line_no = 0;
-  Sequence current;
-  bool have_record = false;
-  while (std::getline(in, line)) {
-    ++line_no;
-    strip_cr(line);
-    if (line.empty()) continue;
-    if (line[0] == '>') {
-      if (have_record) seqs.push_back(std::move(current));
-      current = Sequence{};
-      current.name = line.substr(1);
-      // Truncate the header at the first whitespace, as aligners do.
-      if (auto ws = current.name.find_first_of(" \t"); ws != std::string::npos) {
-        current.name.resize(ws);
-      }
-      have_record = true;
-    } else {
-      if (!have_record) parse_error("sequence data before first '>' header", line_no);
-      for (char c : line) current.bases.push_back(encode_base(c));
-    }
-  }
-  if (have_record) seqs.push_back(std::move(current));
-  return seqs;
+  FastaChunkReader reader(in);
+  return drain(reader);
 }
 
 std::vector<Sequence> read_fasta_file(const std::string& path) {
@@ -81,35 +59,8 @@ void write_fasta_file(const std::string& path, const std::vector<Sequence>& seqs
 }
 
 std::vector<Sequence> read_fastq(std::istream& in) {
-  std::vector<Sequence> seqs;
-  std::string header, bases, plus, quality;
-  std::size_t line_no = 0;
-  while (std::getline(in, header)) {
-    ++line_no;
-    strip_cr(header);
-    if (header.empty()) continue;
-    if (header[0] != '@') parse_error("expected '@' record header", line_no);
-    if (!std::getline(in, bases)) parse_error("missing sequence line", line_no + 1);
-    ++line_no;
-    strip_cr(bases);
-    if (!std::getline(in, plus)) parse_error("missing '+' line", line_no + 1);
-    ++line_no;
-    strip_cr(plus);
-    if (plus.empty() || plus[0] != '+') parse_error("expected '+' separator", line_no);
-    if (!std::getline(in, quality)) parse_error("missing quality line", line_no + 1);
-    ++line_no;
-    strip_cr(quality);
-    if (quality.size() != bases.size()) parse_error("quality length != sequence length", line_no);
-
-    Sequence s;
-    s.name = header.substr(1);
-    if (auto ws = s.name.find_first_of(" \t"); ws != std::string::npos) s.name.resize(ws);
-    s.bases.reserve(bases.size());
-    for (char c : bases) s.bases.push_back(encode_base(c));
-    s.quality = quality;
-    seqs.push_back(std::move(s));
-  }
-  return seqs;
+  FastqChunkReader reader(in);
+  return drain(reader);
 }
 
 std::vector<Sequence> read_fastq_file(const std::string& path) {

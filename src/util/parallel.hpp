@@ -40,4 +40,24 @@ void parallel_for_indexed(std::size_t n, const Body& body) {
 #endif
 }
 
+/// Thread-budgeted variant: at most `threads` host threads (0 = the default
+/// team). Lets concurrent backend lanes split the machine between them
+/// instead of each grabbing every core.
+template <typename Body>
+void parallel_for_indexed(std::size_t n, const Body& body, int threads) {
+#if defined(SALOBA_HAVE_OPENMP)
+  if (threads <= 0) {
+    parallel_for_indexed(n, body);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+    body(static_cast<std::size_t>(i));
+  }
+#else
+  (void)threads;
+  for (std::size_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
 }  // namespace saloba::util

@@ -32,6 +32,64 @@ TEST(Autotune, ConfigAlwaysLazySpills) {
   EXPECT_EQ(cfg.subwarp_size, 32);
 }
 
+DatasetStats sched_stats(std::size_t jobs, double cv_q, double cv_r = 0.0) {
+  DatasetStats s;
+  s.jobs = jobs;
+  s.cv_query_len = cv_q;
+  s.cv_ref_len = cv_r;
+  return s;
+}
+
+TEST(AutotuneScheduler, BalancedSingleLaneKeepsSingleLaunchFastPath) {
+  auto opts = recommend_scheduler(sched_stats(10000, 0.1), 1);
+  EXPECT_EQ(opts.max_shard_pairs, 0u);
+  EXPECT_EQ(opts.policy, gpusim::SplitPolicy::kStatic);
+}
+
+TEST(AutotuneScheduler, BalancedMultiLaneKeepsOneShardPerLane) {
+  auto opts = recommend_scheduler(sched_stats(10000, 0.2), 4);
+  EXPECT_EQ(opts.max_shard_pairs, 0u);
+  EXPECT_EQ(opts.policy, gpusim::SplitPolicy::kSorted);
+}
+
+TEST(AutotuneScheduler, SkewedWorkloadGetsSortedShardCap) {
+  // ~4 shards per lane: 10000 jobs over 2 lanes → cap of 1250 pairs.
+  auto opts = recommend_scheduler(sched_stats(10000, 1.2), 2);
+  EXPECT_EQ(opts.policy, gpusim::SplitPolicy::kSorted);
+  EXPECT_EQ(opts.max_shard_pairs, 1250u);
+}
+
+TEST(AutotuneScheduler, RefSkewAloneTriggersSharding) {
+  auto opts = recommend_scheduler(sched_stats(800, 0.1, 1.5), 1);
+  EXPECT_EQ(opts.max_shard_pairs, 200u);
+}
+
+TEST(AutotuneScheduler, TinyOrEmptyWorkloadsKeepDefaults) {
+  // Too few jobs to fill 4 shards per lane: no cap. Empty: defaults.
+  EXPECT_EQ(recommend_scheduler(sched_stats(6, 2.0), 2).max_shard_pairs, 0u);
+  auto empty = recommend_scheduler(sched_stats(0, 0.0), 3);
+  EXPECT_EQ(empty.max_shard_pairs, 0u);
+  EXPECT_EQ(empty.policy, gpusim::SplitPolicy::kSorted);
+}
+
+TEST(AutotuneScheduler, StatsOfComputesChunkStats) {
+  seq::PairBatch batch;
+  batch.add(std::vector<seq::BaseCode>(100, 0), std::vector<seq::BaseCode>(200, 1));
+  batch.add(std::vector<seq::BaseCode>(300, 2), std::vector<seq::BaseCode>(400, 3));
+  auto stats = stats_of(batch);
+  EXPECT_EQ(stats.jobs, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_query_len, 200.0);
+  EXPECT_DOUBLE_EQ(stats.mean_ref_len, 300.0);
+  EXPECT_EQ(stats.max_query_len, 300u);
+  EXPECT_EQ(stats.max_ref_len, 400u);
+  EXPECT_GT(stats.cv_query_len, 0.0);
+
+  auto empty = stats_of(seq::PairBatch{});  // degenerate guard: no NaNs
+  EXPECT_EQ(empty.jobs, 0u);
+  EXPECT_FALSE(empty.mean_query_len != empty.mean_query_len);
+  EXPECT_DOUBLE_EQ(empty.cv_query_len, 0.0);
+}
+
 TEST(Autotune, RealDatasetStatsLandSensibly) {
   // Mirrors the regimes of datasets A' and B' (fig8 harness output).
   auto a = stats_with(90, 1.2);   // short reads, moderate imbalance

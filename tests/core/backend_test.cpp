@@ -9,6 +9,7 @@
 
 #include "../support/test_support.hpp"
 #include "align/batch.hpp"
+#include "core/aligner.hpp"
 #include "gpusim/device_registry.hpp"
 
 namespace saloba::core {
@@ -22,6 +23,45 @@ TEST(CpuBackend, RunsBatchOnSingleLane) {
   EXPECT_EQ(out.results, align::align_batch(batch, align::ScoringScheme{}));
   EXPECT_FALSE(out.kernel_stats.has_value());
   EXPECT_GT(out.time_ms, 0.0);
+}
+
+TEST(CpuBackend, MultiLaneSplitsThreadBudget) {
+  // 3 lanes over a 6-thread budget: 2 OpenMP threads per lane, every lane
+  // produces the same results as the single-lane reference.
+  CpuBackend backend{align::ScoringScheme{}, 3, 6};
+  EXPECT_EQ(backend.lanes(), 3);
+  EXPECT_EQ(backend.threads_per_lane(), 2);
+  auto batch = saloba::testing::related_batch(705, 10, 70, 90);
+  auto expected = align::align_batch(batch, align::ScoringScheme{});
+  for (int lane = 0; lane < backend.lanes(); ++lane) {
+    EXPECT_EQ(backend.run(batch, lane).results, expected) << "lane " << lane;
+  }
+}
+
+TEST(CpuBackend, MultiLaneBudgetNeverRoundsToZero) {
+  // More lanes than budgeted threads: each lane still gets one thread.
+  CpuBackend backend{align::ScoringScheme{}, 4, 2};
+  EXPECT_EQ(backend.threads_per_lane(), 1);
+}
+
+TEST(CpuBackend, SchedulerOverlapsMultiLaneCpuShards) {
+  // The ROADMAP item: with lanes > 1 the scheduler spreads shards over CPU
+  // lanes concurrently, results stay bit-identical and lane accounting
+  // covers every lane.
+  auto batch = saloba::testing::imbalanced_batch(706, 30, 30, 300);
+  AlignerOptions opts;  // CPU backend
+  auto expected = Aligner(opts).align(batch);
+
+  AlignerOptions multi = opts;
+  multi.cpu_lanes = 2;
+  multi.cpu_threads = 2;
+  auto out = Aligner(multi).align(batch);
+  EXPECT_EQ(out.results, expected.results);
+  EXPECT_EQ(out.schedule.lanes, 2);
+  ASSERT_EQ(out.schedule.lane_ms.size(), 2u);
+  EXPECT_GT(out.schedule.lane_ms[0], 0.0);
+  EXPECT_GT(out.schedule.lane_ms[1], 0.0);
+  EXPECT_EQ(out.schedule.shards, 2u);  // one shard per lane by default
 }
 
 TEST(SimulatedGpuBackend, LanesOwnIndependentDevices) {

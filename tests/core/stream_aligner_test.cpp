@@ -1,0 +1,233 @@
+// StreamAligner invariants: a streamed run is bit-identical to the one-shot
+// Aligner::align path (same results, same order) on both backends, the
+// merger restores input order even with concurrent align workers, residency
+// never exceeds the chunk budget, degenerate inputs yield well-formed
+// outputs, and shutting the pipeline down early (source/sink failure) joins
+// every thread cleanly and rethrows.
+#include "core/stream_aligner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "../support/test_support.hpp"
+#include "core/aligner.hpp"
+#include "core/workload.hpp"
+#include "seq/fasta.hpp"
+
+namespace saloba::core {
+namespace {
+
+AlignerOptions sim_options(int devices = 1) {
+  AlignerOptions opts;
+  opts.backend = Backend::kSimulated;
+  opts.kernel = "saloba";
+  opts.device = "gtx1650";
+  opts.devices = devices;
+  return opts;
+}
+
+TEST(StreamAligner, StreamedCpuBitIdenticalToOneShot) {
+  auto batch = saloba::testing::imbalanced_batch(801, 53, 20, 400);
+  AlignerOptions opts;  // CPU
+  auto expected = Aligner(opts).align(batch);
+
+  StreamOptions stream;
+  stream.chunk_pairs = 7;  // far smaller than the batch
+  stream.queue_capacity = 3;
+  StreamAligner streamer(opts, stream);
+  auto out = streamer.align_streamed(batch);
+
+  EXPECT_EQ(out.results, expected.results);
+  EXPECT_EQ(out.cells, expected.cells);
+  EXPECT_GE(out.schedule.shards, (batch.size() + 6) / 7);
+}
+
+TEST(StreamAligner, StreamedSimBitIdenticalToOneShotAcrossDevices) {
+  auto batch = saloba::testing::imbalanced_batch(802, 41, 30, 500);
+  for (int devices : {1, 2}) {
+    auto expected = Aligner(sim_options(devices)).align(batch);
+    StreamOptions stream;
+    stream.chunk_pairs = 9;
+    StreamAligner streamer(sim_options(devices), stream);
+    auto out = streamer.align_streamed(batch);
+    EXPECT_EQ(out.results, expected.results) << "devices=" << devices;
+    ASSERT_TRUE(out.kernel_stats.has_value());
+    // Functional work is conserved exactly, chunked or not.
+    EXPECT_EQ(out.kernel_stats->totals.dp_cells, expected.kernel_stats->totals.dp_cells);
+  }
+}
+
+TEST(StreamAligner, MergerRestoresOrderUnderConcurrentWorkers) {
+  // Wildly skewed chunk costs + 3 concurrent align workers: chunks finish
+  // out of order, the sink must still see them in input order.
+  util::Xoshiro256 rng(803);
+  seq::PairBatch batch;
+  for (int i = 0; i < 60; ++i) {
+    std::size_t len = rng.bernoulli(0.15) ? 1000 : 30;
+    batch.add(saloba::testing::random_seq(rng, len), saloba::testing::random_seq(rng, len));
+  }
+  auto expected = Aligner(sim_options(1)).align(batch);
+
+  StreamOptions stream;
+  stream.chunk_pairs = 5;
+  stream.queue_capacity = 6;
+  stream.align_threads = 3;
+  StreamAligner streamer(sim_options(1), stream);
+
+  std::vector<std::size_t> seen_chunks;
+  ResidentChunkSource source(batch, stream.chunk_pairs);
+  std::vector<align::AlignmentResult> results(batch.size());
+  auto stats = streamer.run(source, [&](std::size_t index, std::size_t first_pair,
+                                        AlignOutput&& out) {
+    seen_chunks.push_back(index);
+    std::copy(out.results.begin(), out.results.end(),
+              results.begin() + static_cast<std::ptrdiff_t>(first_pair));
+  });
+
+  ASSERT_EQ(seen_chunks.size(), stats.chunks);
+  for (std::size_t i = 0; i < seen_chunks.size(); ++i) {
+    EXPECT_EQ(seen_chunks[i], i);  // strictly ascending chunk order
+  }
+  EXPECT_EQ(results, expected.results);
+  EXPECT_EQ(stats.pairs, batch.size());
+}
+
+TEST(StreamAligner, ResidencyStaysWithinChunkBudget) {
+  auto batch = saloba::testing::related_batch(804, 64, 60, 80);
+  StreamOptions stream;
+  stream.chunk_pairs = 4;
+  stream.queue_capacity = 3;
+  StreamAligner streamer(AlignerOptions{}, stream);
+  ResidentChunkSource source(batch, stream.chunk_pairs);
+  auto stats = streamer.run(source, nullptr);
+  EXPECT_EQ(stats.pairs, batch.size());
+  EXPECT_LE(stats.peak_resident_chunks, stream.queue_capacity);
+  EXPECT_LE(stats.peak_resident_pairs, stream.chunk_pairs * stream.queue_capacity);
+}
+
+TEST(StreamAligner, EmptyStreamYieldsWellFormedOutput) {
+  // Degenerate-input guard: no chunks at all must still produce zeroed,
+  // NaN-free stats and a well-formed AlignOutput.
+  seq::PairBatch empty;
+  StreamAligner streamer(sim_options(2));
+  auto out = streamer.align_streamed(empty);
+  EXPECT_TRUE(out.results.empty());
+  EXPECT_EQ(out.schedule.shards, 0u);
+  EXPECT_DOUBLE_EQ(out.time_ms, 0.0);
+  EXPECT_DOUBLE_EQ(out.gcups, 0.0);
+  EXPECT_FALSE(out.gcups != out.gcups);  // not NaN
+  ASSERT_EQ(out.schedule.lane_ms.size(), 2u);
+
+  ResidentChunkSource source(empty, 8);
+  auto stats = streamer.run(source, nullptr);
+  EXPECT_EQ(stats.chunks, 0u);
+  EXPECT_EQ(stats.pairs, 0u);
+  EXPECT_DOUBLE_EQ(stats.gcups, 0.0);
+  EXPECT_GE(stats.wall_ms, 0.0);
+}
+
+TEST(StreamAligner, EmptyBatchThroughSchedulerStaysWellFormed) {
+  // Companion regression for the one-shot path: empty PairBatch through the
+  // CPU scheduler (the sim path is covered in scheduler_test).
+  seq::PairBatch empty;
+  auto out = Aligner(AlignerOptions{}).align(empty);
+  EXPECT_TRUE(out.results.empty());
+  EXPECT_EQ(out.schedule.shards, 0u);
+  EXPECT_DOUBLE_EQ(out.gcups, 0.0);
+  EXPECT_FALSE(out.gcups != out.gcups);
+}
+
+TEST(StreamAligner, SourceFailureShutsPipelineDownCleanly) {
+  // The shutdown path: a source that throws mid-stream must not deadlock
+  // the queues; every thread joins and the exception resurfaces.
+  class FailingSource final : public PairChunkSource {
+   public:
+    bool next(seq::PairBatch& chunk) override {
+      if (++calls_ > 3) throw std::runtime_error("disk died");
+      chunk = saloba::testing::related_batch(805 + calls_, 6, 40, 60);
+      return true;
+    }
+
+   private:
+    int calls_ = 0;
+  };
+
+  FailingSource source;
+  StreamAligner streamer(AlignerOptions{});
+  EXPECT_THROW(streamer.run(source, nullptr), std::runtime_error);
+}
+
+TEST(StreamAligner, SinkFailureShutsPipelineDownCleanly) {
+  auto batch = saloba::testing::related_batch(806, 40, 40, 60);
+  StreamOptions stream;
+  stream.chunk_pairs = 4;
+  StreamAligner streamer(AlignerOptions{}, stream);
+  ResidentChunkSource source(batch, stream.chunk_pairs);
+  EXPECT_THROW(streamer.run(source,
+                            [](std::size_t index, std::size_t, AlignOutput&&) {
+                              if (index == 2) throw std::runtime_error("sink full");
+                            }),
+               std::runtime_error);
+}
+
+TEST(StreamAligner, ReaderPairSourceZipsTwoStreams) {
+  // Two FASTQ streams of unequal record sizes zipped pairwise, with
+  // scores matching the resident path over the same pairs.
+  auto batch = saloba::testing::related_batch(807, 11, 50, 70);
+  std::vector<seq::Sequence> queries(batch.size()), refs(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    queries[i].name = "q" + std::to_string(i);
+    queries[i].bases = batch.queries[i];
+    refs[i].name = "r" + std::to_string(i);
+    refs[i].bases = batch.refs[i];
+  }
+  std::ostringstream qs, rs;
+  seq::write_fastq(qs, queries);
+  seq::write_fastq(rs, refs);
+
+  std::istringstream qin(qs.str()), rin(rs.str());
+  seq::FastqChunkReader qreader(qin, 4);
+  seq::FastqChunkReader rreader(rin, 4);
+  ReaderPairSource source(qreader, rreader);
+
+  StreamAligner streamer(AlignerOptions{});
+  std::vector<align::AlignmentResult> results(batch.size());
+  streamer.run(source, [&](std::size_t, std::size_t first_pair, AlignOutput&& out) {
+    std::copy(out.results.begin(), out.results.end(),
+              results.begin() + static_cast<std::ptrdiff_t>(first_pair));
+  });
+  EXPECT_EQ(results, Aligner(AlignerOptions{}).align(batch).results);
+}
+
+TEST(StreamAligner, ReaderPairSourceRejectsLengthMismatch) {
+  std::istringstream qin("@q0\nACGT\n+\nIIII\n@q1\nACGT\n+\nIIII\n");
+  std::istringstream rin("@r0\nTTTT\n+\nIIII\n");
+  seq::FastqChunkReader qreader(qin, 4);
+  seq::FastqChunkReader rreader(rin, 4);
+  ReaderPairSource source(qreader, rreader);
+  StreamAligner streamer(AlignerOptions{});
+  EXPECT_THROW(streamer.run(source, nullptr), std::runtime_error);
+}
+
+TEST(StreamAligner, AutotunedScheduleShardsSkewedChunks) {
+  // With autotune on (the default), a skewed chunk bigger than 4 shards per
+  // lane gets a shard cap; the uniform chunk stays a single launch.
+  auto skewed = saloba::testing::imbalanced_batch(808, 40, 20, 800);
+  StreamOptions stream;
+  stream.chunk_pairs = 40;  // one chunk
+  StreamAligner streamer(AlignerOptions{}, stream);
+  auto out = streamer.align_streamed(skewed);
+  EXPECT_GT(out.schedule.shards, 1u);
+  EXPECT_EQ(out.results, Aligner(AlignerOptions{}).align(skewed).results);
+
+  auto uniform = saloba::testing::related_batch(809, 40, 100, 100);
+  auto out2 = streamer.align_streamed(uniform);
+  EXPECT_EQ(out2.schedule.shards, 1u);
+}
+
+}  // namespace
+}  // namespace saloba::core

@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "align/batch.hpp"
+#include "seq/chunk_reader.hpp"
+#include "seq/fasta.hpp"
 #include "seq/random_genome.hpp"
 #include "seq/read_simulator.hpp"
+#include "seq/sam.hpp"
 #include "util/stats.hpp"
 
 namespace saloba::seedext {
@@ -165,6 +170,94 @@ TEST(Pipeline, BatchedExtenderHandlesUnmappableReads) {
   EXPECT_FALSE(mappings[1].mapped);
   // No jobs → the extender is never invoked with an empty batch.
   EXPECT_EQ(extender_calls, 0u);
+}
+
+TEST(Pipeline, MapStreamMatchesResidentMapBatch) {
+  // The streaming FASTQ path (chunked ingest, bounded queue, batched
+  // extension per chunk) must reproduce map_batch over the same reads,
+  // in the same order.
+  auto genome = pipeline_genome(50);
+  seq::ReadProfile profile = seq::ReadProfile::illumina_250bp();
+  seq::ReadSimulator sim(genome, profile, 13);
+  ReadMapper mapper(genome, MapperParams{});
+
+  std::vector<seq::Sequence> reads;
+  std::vector<std::vector<seq::BaseCode>> read_seqs;
+  for (auto& r : sim.simulate(30)) {
+    read_seqs.push_back(r.read.bases);
+    reads.push_back(std::move(r.read));
+  }
+  BatchExtender cpu_extender = [&](const seq::PairBatch& batch) {
+    return align::align_batch(batch, mapper.params().scoring);
+  };
+  auto expected = mapper.map_batch(read_seqs, cpu_extender);
+
+  std::ostringstream fq;
+  seq::write_fastq(fq, reads);
+  std::istringstream in(fq.str());
+  seq::FastqChunkReader reader(in, 7);  // several chunks
+
+  std::vector<ReadMapping> streamed;
+  std::vector<std::string> names;
+  auto stats = mapper.map_stream(
+      reader, cpu_extender,
+      [&](const seq::Sequence& read, const ReadMapping& mapping) {
+        names.push_back(read.name);
+        streamed.push_back(mapping);
+      },
+      2);
+  EXPECT_EQ(stats.reads, reads.size());
+  EXPECT_GE(stats.chunks, 4u);
+  expect_same_mappings(streamed, expected);
+  for (std::size_t i = 0; i < reads.size(); ++i) EXPECT_EQ(names[i], reads[i].name);
+}
+
+TEST(Pipeline, MapStreamWritesSamIncrementally) {
+  auto genome = pipeline_genome(51);
+  seq::ReadProfile profile = seq::ReadProfile::equal_length(120);
+  profile.mutation_rate = 0.0;
+  profile.error_rate = 0.0;
+  seq::ReadSimulator sim(genome, profile, 14);
+  ReadMapper mapper(genome, MapperParams{});
+
+  std::vector<seq::Sequence> reads;
+  for (auto& r : sim.simulate(12)) reads.push_back(std::move(r.read));
+  std::ostringstream fq;
+  seq::write_fastq(fq, reads);
+  std::istringstream in(fq.str());
+  seq::FastqChunkReader reader(in, 5);
+
+  BatchExtender cpu_extender = [&](const seq::PairBatch& batch) {
+    return align::align_batch(batch, mapper.params().scoring);
+  };
+  std::ostringstream sam_text;
+  seq::SamHeader header;
+  header.reference_length = genome.size();
+  seq::SamWriter writer(sam_text, header);
+  auto stats = mapper.map_stream(reader, cpu_extender, writer, "chrT", 2);
+
+  EXPECT_EQ(stats.reads, reads.size());
+  EXPECT_EQ(writer.records_written(), reads.size());
+  std::istringstream sam_in(sam_text.str());
+  auto records = seq::read_sam(sam_in);
+  ASSERT_EQ(records.size(), reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    EXPECT_EQ(records[i].qname, reads[i].name);  // input order preserved
+  }
+  EXPECT_EQ(stats.mapped, reads.size());  // error-free reads all map
+}
+
+TEST(Pipeline, MapStreamSurfacesReaderErrors) {
+  auto genome = pipeline_genome(52);
+  ReadMapper mapper(genome, MapperParams{});
+  // Truncated second record: the producer thread throws; map_stream must
+  // join cleanly and rethrow on the calling thread.
+  std::istringstream in("@r0\nACGT\n+\nIIII\n@r1\nACGT\n+\n");
+  seq::FastqChunkReader reader(in, 1);
+  BatchExtender cpu_extender = [&](const seq::PairBatch& batch) {
+    return align::align_batch(batch, mapper.params().scoring);
+  };
+  EXPECT_THROW(mapper.map_stream(reader, cpu_extender, nullptr, 2), std::runtime_error);
 }
 
 TEST(Pipeline, SeedsOfExposesForwardSeeds) {

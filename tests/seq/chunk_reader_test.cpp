@@ -1,0 +1,183 @@
+// Chunked FASTA/FASTQ readers: chunk accounting, CRLF tolerance, multi-line
+// records across chunk boundaries, truncated-record errors with line
+// numbers, and exact round-trips against the non-chunked readers (which are
+// now implemented on top of these).
+#include "seq/chunk_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "seq/fasta.hpp"
+
+namespace saloba::seq {
+namespace {
+
+std::vector<Sequence> drain_chunks(SequenceChunkReader& reader,
+                                   std::vector<std::size_t>* chunk_sizes = nullptr) {
+  std::vector<Sequence> all;
+  SequenceChunk chunk;
+  while (reader.next(chunk)) {
+    if (chunk_sizes) chunk_sizes->push_back(chunk.size());
+    EXPECT_EQ(chunk.first_record, all.size());
+    for (auto& s : chunk.records) all.push_back(std::move(s));
+  }
+  return all;
+}
+
+TEST(FastqChunkReader, SplitsStreamIntoBoundedChunks) {
+  std::ostringstream input;
+  for (int i = 0; i < 7; ++i) {
+    input << "@r" << i << "\nACGT\n+\nIIII\n";
+  }
+  std::istringstream in(input.str());
+  FastqChunkReader reader(in, 3);
+  std::vector<std::size_t> sizes;
+  auto all = drain_chunks(reader, &sizes);
+  ASSERT_EQ(all.size(), 7u);
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{3, 3, 1}));
+  EXPECT_EQ(reader.chunks_read(), 3u);
+  EXPECT_EQ(reader.records_read(), 7u);
+  EXPECT_EQ(all[0].name, "r0");
+  EXPECT_EQ(all[6].name, "r6");
+  SequenceChunk chunk;
+  EXPECT_FALSE(reader.next(chunk));  // exhausted stays exhausted
+}
+
+TEST(FastqChunkReader, ToleratesCrlfAndBlankLinesBetweenRecords) {
+  std::istringstream in("@a\r\nACGT\r\n+\r\nIIII\r\n\r\n@b\r\nTT\r\n+b\r\nJJ\r\n");
+  FastqChunkReader reader(in, 10);
+  SequenceChunk chunk;
+  ASSERT_TRUE(reader.next(chunk));
+  ASSERT_EQ(chunk.size(), 2u);
+  EXPECT_EQ(chunk.records[0].to_string(), "ACGT");
+  EXPECT_EQ(chunk.records[0].quality, "IIII");
+  EXPECT_EQ(chunk.records[1].name, "b");
+  EXPECT_EQ(chunk.records[1].quality, "JJ");
+}
+
+TEST(FastqChunkReader, TruncatedFinalRecordThrowsWithLineNumber) {
+  // Record 2 ends after its '+' line: the quality line (line 8) is missing.
+  std::istringstream in("@r1\nACGT\n+\nIIII\n@r2\nTTTT\n+\n");
+  FastqChunkReader reader(in, 10);
+  SequenceChunk chunk;
+  try {
+    reader.next(chunk);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("missing quality line"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 8"), std::string::npos) << msg;
+  }
+}
+
+TEST(FastqChunkReader, ChunkBoundaryNeverSplitsARecord) {
+  // Chunks are measured in whole records, so any chunk size — including 1,
+  // which puts a boundary between every 4-line record — parses the same
+  // stream to the same records.
+  std::ostringstream input;
+  for (int i = 0; i < 5; ++i) {
+    input << "@r" << i << "\nACGTACGT\n+\nIIIIIIII\n";
+  }
+  for (std::size_t chunk_records : {1u, 2u, 3u, 100u}) {
+    std::istringstream in(input.str());
+    FastqChunkReader reader(in, chunk_records);
+    auto all = drain_chunks(reader);
+    ASSERT_EQ(all.size(), 5u) << "chunk_records=" << chunk_records;
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(all[static_cast<std::size_t>(i)].name, "r" + std::to_string(i));
+      EXPECT_EQ(all[static_cast<std::size_t>(i)].to_string(), "ACGTACGT");
+    }
+  }
+}
+
+TEST(FastaChunkReader, MultiLineRecordsReassembleAcrossChunkBoundaries) {
+  // A 3-line record right at a chunk-size-1 boundary: the reader must hold
+  // the pending '>' header between next() calls and never split the bases.
+  std::istringstream in(">a desc\nACGT\nACGT\nAC\n>b\nTTTT\n>c\nGG\nGG\n");
+  FastaChunkReader reader(in, 1);
+  std::vector<std::size_t> sizes;
+  auto all = drain_chunks(reader, &sizes);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 1, 1}));
+  EXPECT_EQ(all[0].name, "a");  // truncated at whitespace
+  EXPECT_EQ(all[0].to_string(), "ACGTACGTAC");
+  EXPECT_EQ(all[1].to_string(), "TTTT");
+  EXPECT_EQ(all[2].to_string(), "GGGG");
+}
+
+TEST(FastaChunkReader, RejectsDataBeforeFirstHeaderWithLineNumber) {
+  std::istringstream in("\nACGT\n>late\nAC\n");
+  FastaChunkReader reader(in, 4);
+  SequenceChunk chunk;
+  try {
+    reader.next(chunk);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("before first '>'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  }
+}
+
+TEST(FastaChunkReader, CrlfInput) {
+  std::istringstream in(">a\r\nAC\r\nGT\r\n");
+  FastaChunkReader reader(in, 4);
+  SequenceChunk chunk;
+  ASSERT_TRUE(reader.next(chunk));
+  ASSERT_EQ(chunk.size(), 1u);
+  EXPECT_EQ(chunk.records[0].to_string(), "ACGT");
+}
+
+TEST(ChunkReaders, RoundTripMatchesNonChunkedReaders) {
+  // Write a mixed-length FASTQ + multi-line FASTA, then compare chunked
+  // reading (awkward chunk size) field-for-field with read_fastq/read_fasta.
+  std::vector<Sequence> seqs(9);
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    seqs[i].name = "s" + std::to_string(i);
+    seqs[i].bases = encode_string(std::string(10 + 37 * i, "ACGT"[i % 4]));
+    seqs[i].quality = std::string(seqs[i].bases.size(), 'F');
+  }
+
+  std::ostringstream fq;
+  write_fastq(fq, seqs);
+  std::istringstream fq_plain(fq.str()), fq_chunked(fq.str());
+  auto expected_fq = read_fastq(fq_plain);
+  FastqChunkReader fq_reader(fq_chunked, 4);
+  auto got_fq = drain_chunks(fq_reader);
+  ASSERT_EQ(got_fq.size(), expected_fq.size());
+  for (std::size_t i = 0; i < expected_fq.size(); ++i) {
+    EXPECT_EQ(got_fq[i].name, expected_fq[i].name);
+    EXPECT_EQ(got_fq[i].bases, expected_fq[i].bases);
+    EXPECT_EQ(got_fq[i].quality, expected_fq[i].quality);
+  }
+
+  std::ostringstream fa;
+  write_fasta(fa, seqs, 25);  // forces multi-line records
+  std::istringstream fa_plain(fa.str()), fa_chunked(fa.str());
+  auto expected_fa = read_fasta(fa_plain);
+  FastaChunkReader fa_reader(fa_chunked, 2);
+  auto got_fa = drain_chunks(fa_reader);
+  ASSERT_EQ(got_fa.size(), expected_fa.size());
+  for (std::size_t i = 0; i < expected_fa.size(); ++i) {
+    EXPECT_EQ(got_fa[i].name, expected_fa[i].name);
+    EXPECT_EQ(got_fa[i].bases, expected_fa[i].bases);
+  }
+}
+
+TEST(ChunkReaders, EmptyStreamYieldsNoChunks) {
+  std::istringstream in("");
+  FastqChunkReader fastq(in, 8);
+  SequenceChunk chunk;
+  EXPECT_FALSE(fastq.next(chunk));
+  EXPECT_EQ(fastq.records_read(), 0u);
+
+  std::istringstream in2("\n\n");
+  FastaChunkReader fasta(in2, 8);
+  EXPECT_FALSE(fasta.next(chunk));
+}
+
+}  // namespace
+}  // namespace saloba::seq
