@@ -48,4 +48,27 @@ SchedulerOptions recommend_scheduler(const DatasetStats& stats, int lanes) {
   return opts;
 }
 
+SchedulerOptions recommend_scheduler(const DatasetStats& stats,
+                                     const std::vector<double>& lane_weights) {
+  const int lanes = lane_weights.empty() ? 1 : static_cast<int>(lane_weights.size());
+  SchedulerOptions opts = recommend_scheduler(stats, lanes);
+  if (stats.jobs == 0 || lane_weights.empty()) return opts;
+
+  const auto [wmin, wmax] = std::minmax_element(lane_weights.begin(), lane_weights.end());
+  if (*wmax <= *wmin * 1.25) return opts;  // near-uniform lanes: no extra shards
+
+  // Heterogeneous lanes: one shard per lane would hand every lane an equal
+  // (or length-balanced) slice regardless of speed — with the weighted LPT
+  // the shard cap is what lets fast lanes take proportionally more and
+  // steal the tail, so raise the shard budget to ~8 per lane.
+  opts.policy = gpusim::SplitPolicy::kSorted;
+  const std::size_t target_shards = static_cast<std::size_t>(lanes) * 8;
+  if (stats.jobs > target_shards) {
+    const std::size_t cap = (stats.jobs + target_shards - 1) / target_shards;
+    opts.max_shard_pairs =
+        opts.max_shard_pairs == 0 ? cap : std::min(opts.max_shard_pairs, cap);
+  }
+  return opts;
+}
+
 }  // namespace saloba::core

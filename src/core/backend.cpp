@@ -3,11 +3,20 @@
 #include <algorithm>
 
 #include "align/batch.hpp"
+#include "gpusim/cost_model.hpp"
 #include "gpusim/device_registry.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 
 namespace saloba::core {
+
+std::vector<double> lane_weights(const AlignBackend& backend) {
+  std::vector<double> weights(static_cast<std::size_t>(backend.lanes()));
+  for (int l = 0; l < backend.lanes(); ++l) {
+    weights[static_cast<std::size_t>(l)] = backend.lane_weight(l);
+  }
+  return weights;
+}
 
 CpuBackend::CpuBackend(align::ScoringScheme scoring, int lanes, int threads_total)
     : scoring_(scoring), lanes_(lanes) {
@@ -21,6 +30,11 @@ CpuBackend::CpuBackend(align::ScoringScheme scoring, int lanes, int threads_tota
   } else if (threads_total > 0) {
     threads_per_lane_ = threads_total;
   }
+}
+
+double CpuBackend::lane_weight(int lane) const {
+  SALOBA_CHECK_MSG(lane >= 0 && lane < lanes_, "lane " << lane << " out of range");
+  return threads_per_lane_ > 0 ? static_cast<double>(threads_per_lane_) : 1.0;
 }
 
 BackendOutput CpuBackend::run(const seq::PairBatch& batch, int lane) {
@@ -37,12 +51,44 @@ SimulatedGpuBackend::SimulatedGpuBackend(const AlignerOptions& options)
   SALOBA_CHECK_MSG(scoring_.valid(), "invalid scoring scheme");
   SALOBA_CHECK_MSG(options.devices >= 1, "need at least one device");
   kernel_ = kernels::make_kernel(options.kernel, options.nominal_batch_pairs);
-  gpusim::DeviceSpec spec = gpusim::device_by_name(options.device);
-  devices_.reserve(static_cast<std::size_t>(options.devices));
-  for (int d = 0; d < options.devices; ++d) {
-    devices_.push_back(std::make_unique<gpusim::Device>(spec));
+
+  std::vector<gpusim::DeviceSpec> specs;
+  for (const std::string& preset : device_preset_list(options.device)) {
+    specs.push_back(gpusim::device_by_name(preset));
   }
-  name_ = "sim:" + kernel_->info().name + "@" + spec.name;
+  const bool mixed = specs.size() > 1;
+  if (!mixed) {
+    // Homogeneous: `devices` identical replicas of the single preset. Copy
+    // out first — assign() from an element of the vector being reassigned
+    // is self-aliasing the standard doesn't guarantee to survive.
+    const gpusim::DeviceSpec only = specs.front();
+    specs.assign(static_cast<std::size_t>(options.devices), only);
+  } else {
+    SALOBA_CHECK_MSG(options.devices == 1 ||
+                         static_cast<std::size_t>(options.devices) == specs.size(),
+                     "devices=" << options.devices << " conflicts with a "
+                                << specs.size() << "-preset device list");
+  }
+
+  devices_.reserve(specs.size());
+  weights_.reserve(specs.size());
+  double slowest = gpusim::peak_issue_rate(specs.front());
+  for (const gpusim::DeviceSpec& spec : specs) {
+    slowest = std::min(slowest, gpusim::peak_issue_rate(spec));
+  }
+  for (const gpusim::DeviceSpec& spec : specs) {
+    devices_.push_back(std::make_unique<gpusim::Device>(spec));
+    weights_.push_back(gpusim::peak_issue_rate(spec) / slowest);
+  }
+  name_ = "sim:" + kernel_->info().name + "@" + specs.front().name;
+  if (mixed) {
+    for (std::size_t d = 1; d < specs.size(); ++d) name_ += "+" + specs[d].name;
+  }
+}
+
+double SimulatedGpuBackend::lane_weight(int lane) const {
+  SALOBA_CHECK_MSG(lane >= 0 && lane < lanes(), "lane " << lane << " out of range");
+  return weights_[static_cast<std::size_t>(lane)];
 }
 
 BackendOutput SimulatedGpuBackend::run(const seq::PairBatch& batch, int lane) {

@@ -39,11 +39,20 @@ class AlignBackend {
   /// serializes runs on one lane; distinct lanes may run concurrently.
   virtual int lanes() const = 0;
 
+  /// Relative throughput hint for `lane` — the scheduler's cost input for
+  /// heterogeneous lanes (weighted LPT). Only ratios between lanes matter;
+  /// homogeneous backends keep the default 1.0 everywhere, which makes the
+  /// scheduler fall back to the classic unweighted packing bit-for-bit.
+  virtual double lane_weight(int /*lane*/) const { return 1.0; }
+
   /// Runs the batch on `lane` (in [0, lanes())). May throw
   /// kernels::KernelUnsupportedError or gpusim::DeviceOomError, faithfully
   /// to the modelled library.
   virtual BackendOutput run(const seq::PairBatch& batch, int lane) = 0;
 };
+
+/// All of a backend's lane weights, in lane order (size == lanes()).
+std::vector<double> lane_weights(const AlignBackend& backend);
 
 /// The host OpenMP batch aligner (align::align_batch). One lane by default;
 /// `lanes > 1` splits the host into independent lanes the scheduler may run
@@ -58,6 +67,9 @@ class CpuBackend final : public AlignBackend {
   int lanes() const override { return lanes_; }
   /// OpenMP thread cap per lane run; 0 = the default team (single lane).
   int threads_per_lane() const { return threads_per_lane_; }
+  /// CPU lanes split one thread budget evenly, so every lane weighs its
+  /// per-lane thread count — uniform, keeping the unweighted scheduler path.
+  double lane_weight(int lane) const override;
   BackendOutput run(const seq::PairBatch& batch, int lane) override;
 
  private:
@@ -69,14 +81,22 @@ class CpuBackend final : public AlignBackend {
 
 /// A reproduced GPU kernel on N simulated devices. Each lane owns a
 /// gpusim::Device; the kernel object is stateless per run and shared.
+/// `options.device` may list several presets ("gtx1650,rtx3090") for a
+/// heterogeneous backend: one lane per preset, each lane weighted by the
+/// cost model's peak issue rate relative to the slowest preset so the
+/// scheduler can partition work cost-aware.
 class SimulatedGpuBackend final : public AlignBackend {
  public:
   /// Resolves `options.kernel` and `options.device` through the registries;
-  /// throws std::invalid_argument (listing valid names) on unknown names.
+  /// throws std::invalid_argument (listing valid names) on unknown names or
+  /// a malformed preset list.
   explicit SimulatedGpuBackend(const AlignerOptions& options);
 
   const std::string& name() const override { return name_; }
   int lanes() const override { return static_cast<int>(devices_.size()); }
+  /// gpusim::peak_issue_rate of the lane's device / the slowest lane's
+  /// (>= 1.0; uniform presets yield exactly 1.0 everywhere).
+  double lane_weight(int lane) const override;
   BackendOutput run(const seq::PairBatch& batch, int lane) override;
 
   gpusim::Device& device(int lane) { return *devices_[static_cast<std::size_t>(lane)]; }
@@ -85,6 +105,7 @@ class SimulatedGpuBackend final : public AlignBackend {
   align::ScoringScheme scoring_;
   kernels::KernelPtr kernel_;
   std::vector<std::unique_ptr<gpusim::Device>> devices_;
+  std::vector<double> weights_;
   std::string name_;
 };
 

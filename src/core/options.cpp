@@ -1,4 +1,29 @@
 #include "core/options.hpp"
 
-// Currently header-only; this TU reserves room for option parsing/validation
-// helpers and keeps the build layout uniform (one .cpp per public header).
+#include <cctype>
+#include <stdexcept>
+
+namespace saloba::core {
+
+std::vector<std::string> device_preset_list(const std::string& device) {
+  std::vector<std::string> presets;
+  std::size_t begin = 0;
+  for (;;) {
+    std::size_t comma = device.find(',', begin);
+    std::size_t end = comma == std::string::npos ? device.size() : comma;
+    std::size_t first = begin;
+    while (first < end && std::isspace(static_cast<unsigned char>(device[first]))) ++first;
+    std::size_t last = end;
+    while (last > first && std::isspace(static_cast<unsigned char>(device[last - 1]))) --last;
+    if (first == last) {
+      throw std::invalid_argument("empty device preset in list \"" + device +
+                                  "\" (expected e.g. \"gtx1650\" or \"gtx1650,rtx3090\")");
+    }
+    presets.push_back(device.substr(first, last - first));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return presets;
+}
+
+}  // namespace saloba::core

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "align/scoring.hpp"
 #include "gpusim/multi_device.hpp"
@@ -19,7 +20,10 @@ struct AlignerOptions {
   /// Kernel name for the simulated backend (see kernels::kernel_names()).
   std::string kernel = "saloba";
   /// Device preset (see gpusim::device_names()): "gtx1650", "rtx3090",
-  /// "p100", "v100".
+  /// "p100", "v100" — or a comma-separated list of presets (e.g.
+  /// "gtx1650,rtx3090") for a heterogeneous backend with one lane per
+  /// preset; the scheduler then partitions work by each lane's relative
+  /// throughput (cost-aware weighted LPT).
   std::string device = "rtx3090";
   align::ScoringScheme scoring;
   /// Paper-scale batch size used for footprint checks (0 = actual batch).
@@ -29,7 +33,9 @@ struct AlignerOptions {
   /// Simulated devices the scheduler spreads shards across (Sec. VII-C
   /// multi-GPU dispatch; simulated backend only — the CPU backend always
   /// runs one lane). With 1 device and no shard cap, align() degenerates to
-  /// the classic single-launch path.
+  /// the classic single-launch path. When `device` lists several presets the
+  /// lane count comes from the list instead; `devices` must then be 1 (the
+  /// default) or match the list length.
   int devices = 1;
   /// Shard size cap in pairs: 0 = one shard per device.
   std::size_t max_shard_pairs = 0;
@@ -46,5 +52,11 @@ struct AlignerOptions {
   /// Total host threads the CPU backend may use (0 = hardware concurrency).
   int cpu_threads = 0;
 };
+
+/// Splits an AlignerOptions::device value into its comma-separated preset
+/// names, trimming surrounding whitespace. Throws std::invalid_argument on
+/// an empty string or an empty list element ("gtx1650,,rtx3090"); names are
+/// not resolved here — gpusim::device_by_name validates them.
+std::vector<std::string> device_preset_list(const std::string& device);
 
 }  // namespace saloba::core

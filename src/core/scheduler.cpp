@@ -19,6 +19,18 @@ void accumulate_breakdown(gpusim::TimeBreakdown& into, const gpusim::TimeBreakdo
   into.sm_imbalance = std::max(into.sm_imbalance, from.sm_imbalance);
 }
 
+void finalize_balance(ScheduleReport& report) {
+  double sum = 0.0;
+  report.busy_lanes = 0;
+  for (double ms : report.lane_ms) {
+    sum += ms;
+    report.busy_lanes += ms > 0.0;
+  }
+  report.imbalance = !report.lane_ms.empty() && sum > 0.0
+                         ? report.makespan_ms / (sum / static_cast<double>(report.lane_ms.size()))
+                         : 0.0;
+}
+
 namespace {
 
 double gcups_at(std::size_t cells, double time_ms) {
@@ -58,8 +70,9 @@ AlignOutput BatchScheduler::run_single(const seq::PairBatch& batch) {
   out.schedule.lanes = backend_->lanes();
   out.schedule.lane_ms.assign(static_cast<std::size_t>(backend_->lanes()), 0.0);
   out.schedule.lane_ms[0] = bo.time_ms;
+  out.schedule.lane_weights = lane_weights(*backend_);
   out.schedule.makespan_ms = bo.time_ms;
-  out.schedule.imbalance = bo.time_ms > 0 ? 1.0 : 0.0;  // one busy lane
+  finalize_balance(out.schedule);
   return out;
 }
 
@@ -69,13 +82,18 @@ AlignOutput BatchScheduler::run(const seq::PairBatch& batch) {
     out.schedule.lanes = backend_->lanes();
     out.schedule.shards = 0;
     out.schedule.lane_ms.assign(static_cast<std::size_t>(backend_->lanes()), 0.0);
+    out.schedule.lane_weights = lane_weights(*backend_);
     return out;
   }
 
   const int lanes = backend_->lanes();
   if (lanes == 1 && options_.max_shard_pairs == 0) return run_single(batch);
 
-  auto shards = gpusim::make_shards(batch, lanes, options_.policy, options_.max_shard_pairs);
+  // Cost-aware dispatch: heterogeneous backends expose non-uniform lane
+  // weights and get the weighted-LPT packing; uniform weights fall through
+  // to the classic unweighted path bit-for-bit.
+  auto shards = gpusim::make_shards(batch, lane_weights(*backend_), options_.policy,
+                                    options_.max_shard_pairs);
   if (shards.size() == 1 && shards[0].batch.size() == batch.size() &&
       options_.policy == gpusim::SplitPolicy::kStatic) {
     return run_single(batch);
@@ -123,6 +141,7 @@ AlignOutput BatchScheduler::merge(const seq::PairBatch& batch,
   out.schedule.shards = shards.size();
   out.schedule.lanes = backend_->lanes();
   out.schedule.lane_ms.assign(static_cast<std::size_t>(backend_->lanes()), 0.0);
+  out.schedule.lane_weights = lane_weights(*backend_);
 
   // Deterministic aggregation: shards are merged in shard-id order, not
   // completion order, so stats and times never depend on thread timing.
@@ -146,15 +165,10 @@ AlignOutput BatchScheduler::merge(const seq::PairBatch& batch,
     }
   }
 
-  double sum = 0.0;
-  int busy = 0;
   for (double ms : out.schedule.lane_ms) {
     out.schedule.makespan_ms = std::max(out.schedule.makespan_ms, ms);
-    sum += ms;
-    busy += ms > 0.0;
   }
-  out.schedule.imbalance =
-      busy > 0 && sum > 0.0 ? out.schedule.makespan_ms / (sum / busy) : 0.0;
+  finalize_balance(out.schedule);
 
   // Devices run concurrently, so the batch's wall time is the makespan —
   // and gcups is computed once, from the merged output, for both backends.

@@ -39,13 +39,29 @@ struct ScheduleReport {
   int lanes = 1;
   /// Per-lane busy time (sum of that lane's shard times); size == lanes.
   std::vector<double> lane_ms;
+  /// Relative lane throughputs the dispatch used (backend lane_weight, in
+  /// lane order); empty or uniform = classic unweighted packing.
+  std::vector<double> lane_weights;
   double makespan_ms = 0.0;  ///< max over lanes — the reported wall time
-  double imbalance = 0.0;    ///< makespan / mean busy-lane time (1 = balanced)
+  /// Weighted imbalance: makespan / mean lane time over ALL lanes (busy or
+  /// idle), 1 = every lane finished together. Lane times already embody the
+  /// lane weights (a fast lane spends fewer ms on the same cells), so the
+  /// time-domain mean needs no extra weighting — but it must count idle
+  /// lanes: averaging only busy ones would report a perfect 1.0 for a run
+  /// that stranded all work on one lane of four.
+  double imbalance = 0.0;
+  int busy_lanes = 0;  ///< lanes with lane_ms > 0
 };
 
 /// Component-wise accumulation of simulated time breakdowns — shared by the
 /// scheduler's shard merge and the streaming merger (stream_aligner.cpp).
 void accumulate_breakdown(gpusim::TimeBreakdown& into, const gpusim::TimeBreakdown& from);
+
+/// Derives `busy_lanes` and `imbalance` from an already-filled `lane_ms` /
+/// `makespan_ms` (all-lane normalization, see ScheduleReport::imbalance) —
+/// shared by the scheduler's merge and the streaming aggregate
+/// (stream_aligner.cpp), so the two call sites cannot drift apart again.
+void finalize_balance(ScheduleReport& report);
 
 struct AlignOutput {
   /// One result per input pair, in input order regardless of sharding.

@@ -205,7 +205,7 @@ StreamStats StreamAligner::run(PairChunkSource& source, const ChunkSink& sink) {
         if (stream_.schedule) {
           wanted = *stream_.schedule;
         } else if (stream_.autotune_schedule) {
-          wanted = recommend_scheduler(stats_of(in->batch), backend->lanes());
+          wanted = recommend_scheduler(stats_of(in->batch), lane_weights(*backend));
           wanted.threads = options_.scheduler_threads;
         } else {
           wanted.max_shard_pairs = options_.max_shard_pairs;
@@ -312,17 +312,12 @@ AlignOutput StreamAligner::align_streamed(const seq::PairBatch& batch) {
   total.schedule.shards = stats.shards;
   total.schedule.lanes = backend_->lanes();
   total.schedule.lane_ms = stats.lane_ms;
+  total.schedule.lane_weights = lane_weights(*backend_);
   total.schedule.makespan_ms = stats.align_ms;
-  double sum = 0.0;
-  int busy = 0;
-  for (double ms : total.schedule.lane_ms) {
-    sum += ms;
-    busy += ms > 0.0;
-  }
   // Chunks serialize on the stream, so "makespan" here is the summed chunk
-  // makespan; imbalance still compares busy-lane means against it.
-  total.schedule.imbalance =
-      busy > 0 && sum > 0.0 ? total.schedule.makespan_ms / (sum / busy) : 0.0;
+  // makespan; imbalance compares the all-lane mean against it (idle lanes
+  // count — see ScheduleReport::imbalance).
+  finalize_balance(total.schedule);
   return total;
 }
 

@@ -27,6 +27,11 @@ double warp_cycles(const WarpCounters& w, const DeviceSpec& spec, const CostPara
   return cycles;
 }
 
+double peak_issue_rate(const DeviceSpec& spec) {
+  return static_cast<double>(spec.sm_count) * static_cast<double>(spec.schedulers_per_sm) *
+         spec.core_clock_ghz * 1e9;
+}
+
 TimeBreakdown estimate_time(const DeviceSpec& spec, const CostParams& params,
                             const Occupancy& occ, const std::vector<BlockCost>& block_costs,
                             const WarpCounters& totals, std::uint64_t init_bytes) {

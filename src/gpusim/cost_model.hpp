@@ -64,6 +64,13 @@ struct TimeBreakdown {
 double warp_cycles(const WarpCounters& w, const DeviceSpec& spec, const CostParams& params,
                    int resident_warps_per_sm);
 
+/// The model's peak sustained issue rate for a device, in warp-instruction
+/// issue slots per second — the denominator of the pipelined compute
+/// estimate in estimate_time. Absolute units don't matter to callers; the
+/// ratio between two devices is the cost model's relative-throughput hint
+/// (core::AlignBackend::lane_weight) for heterogeneous-lane scheduling.
+double peak_issue_rate(const DeviceSpec& spec);
+
 /// Full kernel-time estimate.
 /// `block_costs` must contain one entry per launched block.
 /// `init_bytes` models one-time buffer initialisation (memset) overhead.

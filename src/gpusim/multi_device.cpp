@@ -26,12 +26,18 @@ std::vector<Shard> make_shards(const seq::PairBatch& batch, int devices, SplitPo
 
   std::vector<Shard> shards;
   if (max_shard_pairs == 0) {
-    // One shard per lane, round-robin over the policy order (the classic
-    // dispatch_shards partition).
-    shards.resize(static_cast<std::size_t>(devices));
+    // One shard per lane, dealt over the policy order (the classic
+    // dispatch_shards partition). Under kSorted the order is descending by
+    // area, so a plain round-robin deal hands lane 0 the largest pair of
+    // every stripe; snake (boustrophedon) order alternates the deal
+    // direction per stripe and cancels that systematic skew.
+    const auto lanes = static_cast<std::size_t>(devices);
+    shards.resize(lanes);
     for (int d = 0; d < devices; ++d) shards[static_cast<std::size_t>(d)].lane = d;
     for (std::size_t i = 0; i < order.size(); ++i) {
-      Shard& s = shards[i % static_cast<std::size_t>(devices)];
+      std::size_t pos = i % lanes;
+      if (policy == SplitPolicy::kSorted && (i / lanes) % 2 == 1) pos = lanes - 1 - pos;
+      Shard& s = shards[pos];
       s.batch.add(batch.queries[order[i]], batch.refs[order[i]]);
       s.indices.push_back(order[i]);
     }
@@ -59,25 +65,95 @@ std::vector<Shard> make_shards(const seq::PairBatch& batch, int devices, SplitPo
   return shards;
 }
 
+std::vector<Shard> make_shards(const seq::PairBatch& batch,
+                               const std::vector<double>& lane_weights, SplitPolicy policy,
+                               std::size_t max_shard_pairs) {
+  SALOBA_CHECK_MSG(!lane_weights.empty(), "need at least one lane weight");
+  for (double w : lane_weights) {
+    SALOBA_CHECK_MSG(w > 0.0, "lane weights must be positive, got " << w);
+  }
+  const int devices = static_cast<int>(lane_weights.size());
+  const bool uniform = std::all_of(lane_weights.begin(), lane_weights.end(),
+                                   [&](double w) { return w == lane_weights.front(); });
+  if (uniform) return make_shards(batch, devices, policy, max_shard_pairs);
+
+  auto order = shard_order(batch, policy);
+  std::vector<double> lane_load(lane_weights.size(), 0.0);
+  // Weighted LPT: put the next unit of work on the lane that would finish it
+  // earliest, i.e. minimise (load + cells) / weight.
+  auto pick_lane = [&](double cells) {
+    std::size_t best = 0;
+    double best_finish = (lane_load[0] + cells) / lane_weights[0];
+    for (std::size_t l = 1; l < lane_load.size(); ++l) {
+      double finish = (lane_load[l] + cells) / lane_weights[l];
+      if (finish < best_finish) {
+        best_finish = finish;
+        best = l;
+      }
+    }
+    return best;
+  };
+  auto pair_cells = [&](std::size_t i) {
+    return static_cast<double>(batch.queries[i].size() * batch.refs[i].size());
+  };
+
+  std::vector<Shard> shards;
+  if (max_shard_pairs == 0) {
+    // One shard per lane; deal pairs greedily in policy order (descending
+    // area under kSorted — the classic LPT schedule, weight-scaled).
+    shards.resize(lane_weights.size());
+    for (int d = 0; d < devices; ++d) shards[static_cast<std::size_t>(d)].lane = d;
+    for (std::size_t i : order) {
+      std::size_t lane = pick_lane(pair_cells(i));
+      shards[lane].batch.add(batch.queries[i], batch.refs[i]);
+      shards[lane].indices.push_back(i);
+      lane_load[lane] += pair_cells(i);
+    }
+  } else {
+    // Capped runs of the policy order, each assigned whole to the lane with
+    // the earliest weighted finish time; a lane may own several runs.
+    for (std::size_t begin = 0; begin < order.size(); begin += max_shard_pairs) {
+      std::size_t end = std::min(begin + max_shard_pairs, order.size());
+      Shard s;
+      for (std::size_t i = begin; i < end; ++i) {
+        s.batch.add(batch.queries[order[i]], batch.refs[order[i]]);
+        s.indices.push_back(order[i]);
+      }
+      std::size_t lane = pick_lane(static_cast<double>(s.batch.total_cells()));
+      s.lane = static_cast<int>(lane);
+      lane_load[lane] += static_cast<double>(s.batch.total_cells());
+      shards.push_back(std::move(s));
+    }
+  }
+
+  std::erase_if(shards, [](const Shard& s) { return s.batch.size() == 0; });
+  return shards;
+}
+
 ShardResult dispatch_shards(
     const seq::PairBatch& batch, int devices, SplitPolicy policy,
-    const std::function<double(const seq::PairBatch&)>& run_shard) {
-  auto shards = make_shards(batch, devices, policy, 0);
+    const std::function<double(const seq::PairBatch&)>& run_shard,
+    std::size_t max_shard_pairs) {
+  auto shards = make_shards(batch, devices, policy, max_shard_pairs);
 
   ShardResult out;
   out.shard_ms.assign(static_cast<std::size_t>(devices), 0.0);
   for (const Shard& s : shards) {
-    double ms = run_shard(s.batch);
-    out.shard_ms[static_cast<std::size_t>(s.lane)] = ms;
-    out.makespan_ms = std::max(out.makespan_ms, ms);
+    // Accumulate: with a shard cap a device owns several shards, and its
+    // reported time is the sum, not the last shard to run on it.
+    out.shard_ms[static_cast<std::size_t>(s.lane)] += run_shard(s.batch);
   }
   double sum = 0.0;
-  int busy = 0;
   for (double ms : out.shard_ms) {
+    out.makespan_ms = std::max(out.makespan_ms, ms);
     sum += ms;
-    busy += ms > 0.0;
+    out.busy_devices += ms > 0.0;
   }
-  out.imbalance = busy > 0 && sum > 0.0 ? out.makespan_ms / (sum / busy) : 0.0;
+  // Normalize by every device, busy or not: idle devices are imbalance, and
+  // averaging only busy ones would let a run that strands all work on one
+  // of N devices report a perfect 1.0.
+  out.imbalance =
+      devices > 0 && sum > 0.0 ? out.makespan_ms / (sum / static_cast<double>(devices)) : 0.0;
   return out;
 }
 

@@ -19,17 +19,24 @@ enum class SplitPolicy {
 };
 
 struct ShardResult {
-  std::vector<double> shard_ms;  ///< per-device simulated time
+  std::vector<double> shard_ms;  ///< per-device simulated time (sum over that device's shards)
   double makespan_ms = 0.0;      ///< max over devices
-  double imbalance = 0.0;        ///< makespan / mean shard time
+  /// makespan / mean per-device time over ALL devices (1 = balanced). Idle
+  /// devices count toward the mean, so a run that strands work on one of N
+  /// devices reports N, not 1.
+  double imbalance = 0.0;
+  int busy_devices = 0;  ///< devices that ran at least one shard
 };
 
-/// Splits `batch` into `devices` shards by `policy` and runs `run_shard`
-/// (typically a kernel invocation on a fresh Device) on each; aggregates
-/// the simulated times.
+/// Splits `batch` across `devices` by `policy` and runs `run_shard`
+/// (typically a kernel invocation on a fresh Device) on each shard;
+/// aggregates the simulated times. `max_shard_pairs` is forwarded to
+/// make_shards: 0 keeps one shard per device, > 0 cuts the batch into
+/// capped runs so a device may own several shards (times accumulate).
 ShardResult dispatch_shards(
     const seq::PairBatch& batch, int devices, SplitPolicy policy,
-    const std::function<double(const seq::PairBatch&)>& run_shard);
+    const std::function<double(const seq::PairBatch&)>& run_shard,
+    std::size_t max_shard_pairs = 0);
 
 /// The shard index sequence a policy produces (exposed for tests).
 std::vector<std::size_t> shard_order(const seq::PairBatch& batch, SplitPolicy policy);
@@ -44,8 +51,12 @@ struct Shard {
 
 /// Shards `batch` for `devices` lanes under `policy`.
 ///
-/// * `max_shard_pairs == 0`: one shard per lane, dealt round-robin over the
-///   policy order — exactly the partition dispatch_shards runs.
+/// * `max_shard_pairs == 0`: one shard per lane, dealt over the policy order
+///   — exactly the partition dispatch_shards runs. Under kSorted the deal is
+///   boustrophedon (snake: lane 0..N-1, then N-1..0, ...) so no lane
+///   systematically receives the largest pair of every stripe of the
+///   descending order; kStatic keeps plain round-robin (input order carries
+///   no size trend to skew).
 /// * `max_shard_pairs > 0`: the policy order is cut into contiguous runs of
 ///   at most `max_shard_pairs` pairs (under kSorted each run holds
 ///   like-sized pairs — length-bucketed packing that minimises intra-launch
@@ -54,6 +65,17 @@ struct Shard {
 ///
 /// Every pair lands in exactly one shard; empty shards are dropped.
 std::vector<Shard> make_shards(const seq::PairBatch& batch, int devices, SplitPolicy policy,
+                               std::size_t max_shard_pairs = 0);
+
+/// Cost-aware (weighted-LPT) sharding for heterogeneous lanes. One lane per
+/// entry of `lane_weights`; weight l is lane l's relative throughput (only
+/// ratios matter — see core::AlignBackend::lane_weight). Work goes to the
+/// lane minimising the weighted finish time `(lane_load + cells) / weight`:
+/// per pair when `max_shard_pairs == 0` (one shard per lane), per capped run
+/// when `max_shard_pairs > 0` (a lane may own several shards). Uniform
+/// weights reproduce the unweighted overload bit-for-bit.
+std::vector<Shard> make_shards(const seq::PairBatch& batch,
+                               const std::vector<double>& lane_weights, SplitPolicy policy,
                                std::size_t max_shard_pairs = 0);
 
 }  // namespace saloba::gpusim

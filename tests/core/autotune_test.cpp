@@ -72,6 +72,36 @@ TEST(AutotuneScheduler, TinyOrEmptyWorkloadsKeepDefaults) {
   EXPECT_EQ(empty.policy, gpusim::SplitPolicy::kSorted);
 }
 
+TEST(AutotuneScheduler, UniformLaneWeightsDeferToLaneCountOverload) {
+  auto stats = sched_stats(10000, 0.1);
+  auto by_count = recommend_scheduler(stats, 4);
+  auto by_weights = recommend_scheduler(stats, std::vector<double>{2.0, 2.0, 2.0, 2.0});
+  EXPECT_EQ(by_weights.max_shard_pairs, by_count.max_shard_pairs);
+  EXPECT_EQ(by_weights.policy, by_count.policy);
+}
+
+TEST(AutotuneScheduler, SkewedLaneWeightsRaiseShardBudget) {
+  // Uniform lengths would keep one shard per lane, but a 6x lane-speed skew
+  // needs ~8 shards per lane so the weighted LPT can feed the fast lane.
+  auto opts = recommend_scheduler(sched_stats(10000, 0.1), std::vector<double>{1.0, 6.0});
+  EXPECT_EQ(opts.policy, gpusim::SplitPolicy::kSorted);
+  EXPECT_EQ(opts.max_shard_pairs, 625u);  // ceil(10000 / (2 lanes * 8))
+}
+
+TEST(AutotuneScheduler, LengthAndWeightSkewTakeTheTighterCap) {
+  // Length skew alone: 10000/(2*4) = 1250. Weight skew: 10000/(2*8) = 625.
+  auto opts = recommend_scheduler(sched_stats(10000, 1.2), std::vector<double>{1.0, 6.0});
+  EXPECT_EQ(opts.max_shard_pairs, 625u);
+}
+
+TEST(AutotuneScheduler, TinyMixedWorkloadsKeepPerPairWeightedDeal) {
+  // Too few jobs for a cap: the weighted make_shards' per-pair greedy deal
+  // (cap 0) already balances by weight.
+  auto opts = recommend_scheduler(sched_stats(6, 0.1), std::vector<double>{1.0, 6.0});
+  EXPECT_EQ(opts.max_shard_pairs, 0u);
+  EXPECT_EQ(opts.policy, gpusim::SplitPolicy::kSorted);
+}
+
 TEST(AutotuneScheduler, StatsOfComputesChunkStats) {
   seq::PairBatch batch;
   batch.add(std::vector<seq::BaseCode>(100, 0), std::vector<seq::BaseCode>(200, 1));

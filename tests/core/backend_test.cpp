@@ -114,6 +114,91 @@ TEST(SimulatedGpuBackend, UnknownDeviceThrowsListingValidNames) {
   }
 }
 
+TEST(CpuBackend, LaneWeightsAreUniform) {
+  CpuBackend single{align::ScoringScheme{}};
+  EXPECT_DOUBLE_EQ(single.lane_weight(0), 1.0);
+  CpuBackend multi{align::ScoringScheme{}, 3, 6};
+  EXPECT_DOUBLE_EQ(multi.lane_weight(0), 2.0);  // threads_per_lane
+  EXPECT_DOUBLE_EQ(multi.lane_weight(1), multi.lane_weight(0));
+  EXPECT_DOUBLE_EQ(multi.lane_weight(2), multi.lane_weight(0));
+}
+
+TEST(SimulatedGpuBackend, MixedPresetsBuildOneWeightedLanePerPreset) {
+  AlignerOptions opts;
+  opts.backend = Backend::kSimulated;
+  opts.kernel = "saloba";
+  opts.device = "gtx1650, rtx3090";  // whitespace around commas tolerated
+  SimulatedGpuBackend backend(opts);
+  EXPECT_EQ(backend.lanes(), 2);
+  EXPECT_EQ(backend.device(0).spec().name, "GTX1650");
+  EXPECT_EQ(backend.device(1).spec().name, "RTX3090");
+  // Weights are relative throughput, slowest lane pinned at 1.
+  EXPECT_DOUBLE_EQ(backend.lane_weight(0), 1.0);
+  EXPECT_GT(backend.lane_weight(1), 2.0);
+  EXPECT_NE(backend.name().find("GTX1650+RTX3090"), std::string::npos) << backend.name();
+
+  auto weights = lane_weights(backend);
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(weights[1], backend.lane_weight(1));
+
+  // Every lane still computes identical results — heterogeneity is a cost
+  // property, never a functional one.
+  auto batch = saloba::testing::related_batch(707, 6, 80, 110);
+  auto expected = align::align_batch(batch, align::ScoringScheme{});
+  for (int lane = 0; lane < backend.lanes(); ++lane) {
+    EXPECT_EQ(backend.run(batch, lane).results, expected) << "lane " << lane;
+  }
+}
+
+TEST(SimulatedGpuBackend, SinglePresetKeepsUniformWeightsAcrossReplicas) {
+  AlignerOptions opts;
+  opts.backend = Backend::kSimulated;
+  opts.device = "gtx1650";
+  opts.devices = 3;
+  SimulatedGpuBackend backend(opts);
+  for (int lane = 0; lane < backend.lanes(); ++lane) {
+    EXPECT_DOUBLE_EQ(backend.lane_weight(lane), 1.0) << "lane " << lane;
+  }
+}
+
+TEST(SimulatedGpuBackend, UnknownPresetInListThrowsListingValidNames) {
+  AlignerOptions opts;
+  opts.backend = Backend::kSimulated;
+  opts.device = "gtx1650,tpu";
+  try {
+    SimulatedGpuBackend backend(opts);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("tpu"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rtx3090"), std::string::npos) << msg;
+  }
+}
+
+TEST(SimulatedGpuBackend, EmptyPresetListElementThrows) {
+  AlignerOptions opts;
+  opts.backend = Backend::kSimulated;
+  opts.device = "gtx1650,,rtx3090";
+  EXPECT_THROW(SimulatedGpuBackend{opts}, std::invalid_argument);
+  opts.device = "";
+  EXPECT_THROW(SimulatedGpuBackend{opts}, std::invalid_argument);
+}
+
+TEST(DevicePresetList, SplitsAndTrims) {
+  EXPECT_EQ(device_preset_list("rtx3090"), (std::vector<std::string>{"rtx3090"}));
+  EXPECT_EQ(device_preset_list(" gtx1650 , rtx3090 "),
+            (std::vector<std::string>{"gtx1650", "rtx3090"}));
+  EXPECT_THROW(device_preset_list(","), std::invalid_argument);
+}
+
+TEST(SimulatedGpuBackendDeath, MixedPresetsRejectConflictingDeviceCount) {
+  AlignerOptions opts;
+  opts.backend = Backend::kSimulated;
+  opts.device = "gtx1650,rtx3090";
+  opts.devices = 3;  // neither 1 nor the list length
+  EXPECT_DEATH(SimulatedGpuBackend{opts}, "conflicts");
+}
+
 TEST(MakeBackend, DispatchesOnOptions) {
   AlignerOptions cpu;
   EXPECT_EQ(make_backend(cpu)->name(), "cpu");

@@ -213,6 +213,41 @@ TEST(StreamAligner, ReaderPairSourceRejectsLengthMismatch) {
   EXPECT_THROW(streamer.run(source, nullptr), std::runtime_error);
 }
 
+TEST(StreamAligner, StreamedMixedPresetBitIdenticalToOneShot) {
+  // Heterogeneous lanes through the streaming pipeline: a gtx1650+rtx3090
+  // backend, chunked, must reproduce the one-shot mixed-preset run exactly.
+  auto batch = saloba::testing::imbalanced_batch(810, 37, 30, 600);
+  AlignerOptions opts = sim_options();
+  opts.device = "gtx1650,rtx3090";
+  auto expected = Aligner(opts).align(batch);
+
+  StreamOptions stream;
+  stream.chunk_pairs = 8;
+  StreamAligner streamer(opts, stream);
+  EXPECT_EQ(streamer.backend().lanes(), 2);
+  auto out = streamer.align_streamed(batch);
+  EXPECT_EQ(out.results, expected.results);
+  EXPECT_EQ(out.cells, expected.cells);
+  ASSERT_EQ(out.schedule.lane_weights.size(), 2u);
+  EXPECT_GT(out.schedule.lane_weights[1], out.schedule.lane_weights[0]);
+}
+
+TEST(StreamAligner, StreamImbalanceCountsIdleLanes) {
+  // Companion regression for the streaming call site of the busy-lane bug:
+  // single-pair chunks over a 2-device backend all land on lane 0, so the
+  // aggregate must report busy_lanes 1 and imbalance 2, not a "balanced" 1.
+  auto batch = saloba::testing::related_batch(811, 6, 60, 80);
+  StreamOptions stream;
+  stream.chunk_pairs = 1;
+  StreamAligner streamer(sim_options(2), stream);
+  auto out = streamer.align_streamed(batch);
+  ASSERT_EQ(out.schedule.lane_ms.size(), 2u);
+  EXPECT_GT(out.schedule.lane_ms[0], 0.0);
+  EXPECT_DOUBLE_EQ(out.schedule.lane_ms[1], 0.0);
+  EXPECT_EQ(out.schedule.busy_lanes, 1);
+  EXPECT_DOUBLE_EQ(out.schedule.imbalance, 2.0);
+}
+
 TEST(StreamAligner, AutotunedScheduleShardsSkewedChunks) {
   // With autotune on (the default), a skewed chunk bigger than 4 shards per
   // lane gets a shard cap; the uniform chunk stays a single launch.

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "../support/test_support.hpp"
 
 namespace saloba::gpusim {
@@ -75,9 +78,113 @@ TEST(MultiDevice, MoreDevicesThanJobs) {
   EXPECT_EQ(busy, 3);
 }
 
+TEST(MultiDevice, SortedSnakeTightensPerLaneCellTotals) {
+  // Under kSorted a plain round-robin deal hands lane 0 the largest pair of
+  // every stripe of the descending order; the boustrophedon (snake) deal
+  // must tighten the per-lane cell spread on a skewed batch. Lengths are
+  // continuous (no repeated sizes) so stripes are genuinely unequal.
+  auto batch = saloba::testing::imbalanced_batch(408, 64, 50, 1500);
+  const int devices = 4;
+  auto order = shard_order(batch, SplitPolicy::kSorted);
+
+  // The old round-robin per-lane totals, reconstructed from the order.
+  std::vector<std::uint64_t> rr(devices, 0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rr[i % devices] += batch.queries[order[i]].size() * batch.refs[order[i]].size();
+  }
+  std::vector<std::uint64_t> snake(devices, 0);
+  for (const Shard& s : make_shards(batch, devices, SplitPolicy::kSorted)) {
+    snake[static_cast<std::size_t>(s.lane)] += s.batch.total_cells();
+  }
+
+  auto spread = [](const std::vector<std::uint64_t>& v) {
+    auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+    return *hi - *lo;
+  };
+  EXPECT_LT(spread(snake), spread(rr));
+}
+
+TEST(MultiDevice, UniformWeightsMatchUnweightedBitForBit) {
+  auto batch = saloba::testing::imbalanced_batch(409, 41, 10, 400);
+  for (std::size_t cap : {std::size_t{0}, std::size_t{7}}) {
+    for (auto policy : {SplitPolicy::kStatic, SplitPolicy::kSorted}) {
+      auto plain = make_shards(batch, 3, policy, cap);
+      auto weighted = make_shards(batch, std::vector<double>{2.0, 2.0, 2.0}, policy, cap);
+      ASSERT_EQ(weighted.size(), plain.size());
+      for (std::size_t s = 0; s < plain.size(); ++s) {
+        EXPECT_EQ(weighted[s].lane, plain[s].lane) << "cap=" << cap;
+        EXPECT_EQ(weighted[s].indices, plain[s].indices) << "cap=" << cap;
+      }
+    }
+  }
+}
+
+TEST(MultiDevice, SkewedWeightsShiftLoadTowardTheHeavyLane) {
+  auto batch = saloba::testing::imbalanced_batch(410, 48, 50, 400);
+  const std::vector<double> weights{1.0, 3.0};
+  for (std::size_t cap : {std::size_t{0}, std::size_t{4}}) {
+    std::vector<std::uint64_t> lane_cells(2, 0);
+    for (const Shard& s : make_shards(batch, weights, SplitPolicy::kSorted, cap)) {
+      lane_cells[static_cast<std::size_t>(s.lane)] += s.batch.total_cells();
+    }
+    // The 3x lane must take clearly more than half — and roughly its
+    // proportional share of — the work.
+    EXPECT_GT(lane_cells[1], 2 * lane_cells[0]) << "cap=" << cap;
+  }
+}
+
+TEST(MultiDevice, WeightedLptLowersWeightedMakespanOnSkewedWeights) {
+  // With per-lane service rates {1, 4}, the weighted finish time of the
+  // weighted partition must beat the uniform partition's.
+  auto batch = saloba::testing::imbalanced_batch(411, 60, 20, 600);
+  const std::vector<double> weights{1.0, 4.0};
+  auto weighted_makespan = [&](const std::vector<Shard>& shards) {
+    std::vector<double> finish(weights.size(), 0.0);
+    for (const Shard& s : shards) {
+      finish[static_cast<std::size_t>(s.lane)] +=
+          static_cast<double>(s.batch.total_cells()) / weights[static_cast<std::size_t>(s.lane)];
+    }
+    return *std::max_element(finish.begin(), finish.end());
+  };
+  double uniform = weighted_makespan(
+      make_shards(batch, std::vector<double>{1.0, 1.0}, SplitPolicy::kSorted, 5));
+  double weighted = weighted_makespan(make_shards(batch, weights, SplitPolicy::kSorted, 5));
+  EXPECT_LT(weighted, uniform);
+}
+
+TEST(MultiDevice, DispatchAccumulatesLaneTimesAcrossShards) {
+  // With a shard cap a device owns several shards; its reported time is the
+  // sum over them (the pre-fix code overwrote, keeping only the last).
+  auto batch = saloba::testing::imbalanced_batch(412, 24, 30, 300);
+  auto r = dispatch_shards(batch, 2, SplitPolicy::kSorted, area_runner, 3);
+  double sum = 0.0;
+  for (double ms : r.shard_ms) sum += ms;
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(batch.total_cells()));
+  EXPECT_EQ(r.busy_devices, 2);
+}
+
+TEST(MultiDevice, DispatchImbalanceCountsIdleDevices) {
+  // One pair over four devices: three devices idle. The old busy-lane
+  // normalization reported a perfect 1.0 here.
+  seq::PairBatch one;
+  util::Xoshiro256 rng(413);
+  one.add(saloba::testing::random_seq(rng, 80), saloba::testing::random_seq(rng, 90));
+  auto r = dispatch_shards(one, 4, SplitPolicy::kSorted, area_runner);
+  EXPECT_EQ(r.busy_devices, 1);
+  EXPECT_DOUBLE_EQ(r.imbalance, 4.0);
+}
+
 TEST(MultiDeviceDeath, RejectsZeroDevices) {
   auto batch = saloba::testing::imbalanced_batch(407, 4, 10, 50);
   EXPECT_DEATH(dispatch_shards(batch, 0, SplitPolicy::kStatic, area_runner), "at least one");
+}
+
+TEST(MultiDeviceDeath, RejectsEmptyOrNonPositiveWeights) {
+  auto batch = saloba::testing::imbalanced_batch(414, 4, 10, 50);
+  EXPECT_DEATH(make_shards(batch, std::vector<double>{}, SplitPolicy::kSorted),
+               "at least one");
+  EXPECT_DEATH(make_shards(batch, std::vector<double>{1.0, 0.0}, SplitPolicy::kSorted),
+               "positive");
 }
 
 }  // namespace
