@@ -1,72 +1,157 @@
-// Ablation E8 (paper Sec. VII-B, future work): banded extension.
-// Trade-off between DP cells computed and alignment quality on the long-read
-// dataset, across band widths.
+// Ablation E8 (paper Sec. VII-B): banded extension, end to end.
+//
+// Two parts:
+//   1. An asserting harness (the CI smoke contract): on an in-band
+//      long-read-like dataset (2 kbp pairs, 0.5% divergence — the optimal
+//      path hugs the diagonal), the banded SALoBa kernel must produce
+//      results bit-identical to the full-table run at >= 2x fewer DP cells,
+//      with KernelStats dp_cells + dp_cells_skipped accounting for the
+//      difference exactly, a faster modeled kernel time, and bit-identical
+//      agreement with the banded CPU reference. Any violation exits 1.
+//   2. The quality/cost sweep across band widths on the real pipeline
+//      dataset B' (where narrow bands do lose score — the trade-off table).
 #include <cstdio>
+#include <cstdlib>
 
 #include "align/sw_banded.hpp"
 #include "align/sw_reference.hpp"
 #include "bench_common.hpp"
 #include "core/workload.hpp"
+#include "kernels/kernel_iface.hpp"
 #include "util/args.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
 using namespace saloba;
 
+namespace {
+
+bool check(bool ok, const char* what) {
+  if (!ok) std::printf("FAIL: %s\n", what);
+  return ok;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   util::ArgParser args("ablation_banded", "banded vs full extension (Sec. VII-B)");
-  args.add_int("reads", "long reads to extend", 120);
+  args.add_int("reads", "long reads for the dataset-B' sweep", 120);
+  args.add_int("pairs", "in-band 2 kbp pairs for the kernel harness", 48);
+  args.add_int("band", "band width asserted by the kernel harness", 128);
+  args.add_flag("quick", "CI smoke mode: skip the dataset-B' sweep");
   if (!args.parse(argc, argv)) return 1;
 
-  auto genome = core::make_genome(4 << 20);
-  auto ds = core::make_dataset_b(genome, static_cast<std::size_t>(args.get_int("reads")));
   align::ScoringScheme scoring;
-  const auto& batch = ds.batch;
+  auto genome = core::make_genome(4 << 20);
+  bool ok = true;
 
-  // Full-DP oracle.
-  std::vector<align::AlignmentResult> full(batch.size());
-  std::size_t full_cells = 0;
-  util::parallel_for_indexed(batch.size(), [&](std::size_t i) {
-    full[i] = align::smith_waterman(batch.refs[i], batch.queries[i], scoring);
+  // --- 1. Kernel harness: banded vs full table on an in-band dataset -----
+  const std::size_t band = static_cast<std::size_t>(args.get_int("band"));
+  const std::size_t pairs = static_cast<std::size_t>(args.get_int("pairs"));
+  auto full_batch = core::make_fig6_batch(genome, 2048, pairs, /*seed=*/11);
+  seq::PairBatch banded_batch = full_batch;
+  banded_batch.default_band = band;
+
+  auto kernel = kernels::make_kernel("saloba");
+  gpusim::Device dev_full(gpusim::DeviceSpec::rtx3090());
+  auto full = kernel->run(dev_full, full_batch, scoring);
+  gpusim::Device dev_banded(gpusim::DeviceSpec::rtx3090());
+  auto banded = kernel->run(dev_banded, banded_batch, scoring);
+
+  std::vector<int> same_as_full(banded_batch.size(), 0);
+  std::vector<int> same_as_cpu(banded_batch.size(), 0);
+  util::parallel_for_indexed(banded_batch.size(), [&](std::size_t i) {
+    auto ref = align::smith_waterman_banded(banded_batch.refs[i], banded_batch.queries[i],
+                                            scoring, band);
+    same_as_cpu[i] = banded.results[i] == ref.result;
+    same_as_full[i] = banded.results[i] == full.results[i];
   });
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    full_cells += batch.refs[i].size() * batch.queries[i].size();
+  std::size_t identical = 0;
+  std::size_t cpu_identical = 0;
+  for (std::size_t i = 0; i < banded_batch.size(); ++i) {
+    identical += static_cast<std::size_t>(same_as_full[i]);
+    cpu_identical += static_cast<std::size_t>(same_as_cpu[i]);
   }
 
-  util::Table table({"Band", "Cells vs full", "Exact-score jobs", "Mean score ratio"});
-  for (std::size_t band : {8u, 16u, 32u, 64u, 128u, 256u, 1024u}) {
-    std::vector<std::size_t> cells(batch.size());
-    std::vector<double> ratio(batch.size(), 1.0);
-    std::vector<int> exact(batch.size(), 0);
-    util::parallel_for_indexed(batch.size(), [&](std::size_t i) {
-      auto banded = align::smith_waterman_banded(batch.refs[i], batch.queries[i], scoring, band);
-      cells[i] = banded.cells_computed;
-      exact[i] = banded.result.score == full[i].score ? 1 : 0;
-      ratio[i] = full[i].score > 0 ? static_cast<double>(banded.result.score) /
-                                         static_cast<double>(full[i].score)
-                                   : 1.0;
+  const std::uint64_t cells_full = full.stats.totals.dp_cells;
+  const std::uint64_t cells_banded = banded.stats.totals.dp_cells;
+  const std::uint64_t cells_skipped = banded.stats.totals.dp_cells_skipped;
+  std::printf("Banded kernel harness — %zu in-band pairs of 2048 bp, band %zu\n",
+              banded_batch.size(), band);
+  std::printf("  full table : %8.1f M cells, %8.3f ms modeled\n",
+              static_cast<double>(cells_full) / 1e6, full.time.total_ms);
+  std::printf("  banded     : %8.1f M cells (+%.1f M skipped), %8.3f ms modeled\n",
+              static_cast<double>(cells_banded) / 1e6,
+              static_cast<double>(cells_skipped) / 1e6, banded.time.total_ms);
+  std::printf("  cell reduction %.2fx, modeled speedup %.2fx, identical results %zu/%zu\n\n",
+              static_cast<double>(cells_full) / static_cast<double>(cells_banded),
+              full.time.total_ms / banded.time.total_ms, identical, banded_batch.size());
+
+  ok &= check(identical == banded_batch.size(),
+              "banded kernel results identical to the full-table kernel");
+  ok &= check(cpu_identical == banded_batch.size(),
+              "banded kernel bit-identical to align::smith_waterman_banded");
+  ok &= check(cells_banded * 2 <= cells_full, ">= 2x modeled DP-cell reduction");
+  ok &= check(cells_banded + cells_skipped == cells_full,
+              "dp_cells + dp_cells_skipped accounts for the full table exactly");
+  ok &= check(banded.time.total_ms < full.time.total_ms,
+              "banded modeled kernel time beats the full table");
+
+  // --- 2. Quality/cost sweep on the pipeline's dataset B' ----------------
+  if (!args.get_flag("quick")) {
+    auto ds = core::make_dataset_b(genome, static_cast<std::size_t>(args.get_int("reads")));
+    seq::PairBatch sweep_batch = ds.batch;  // pipeline bands not needed here
+    sweep_batch.bands.clear();
+    sweep_batch.default_band = 0;
+
+    std::vector<align::AlignmentResult> oracle(sweep_batch.size());
+    std::size_t full_cells = 0;
+    util::parallel_for_indexed(sweep_batch.size(), [&](std::size_t i) {
+      oracle[i] = align::smith_waterman(sweep_batch.refs[i], sweep_batch.queries[i], scoring);
     });
-    std::size_t total_cells = 0;
-    int total_exact = 0;
-    double ratio_sum = 0;
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      total_cells += cells[i];
-      total_exact += exact[i];
-      ratio_sum += ratio[i];
+    for (std::size_t i = 0; i < sweep_batch.size(); ++i) {
+      full_cells += sweep_batch.refs[i].size() * sweep_batch.queries[i].size();
     }
-    table.add_row({std::to_string(band),
-                   util::Table::num(100.0 * static_cast<double>(total_cells) /
-                                        static_cast<double>(full_cells),
-                                    1) + "%",
-                   std::to_string(total_exact) + "/" + std::to_string(batch.size()),
-                   util::Table::num(ratio_sum / static_cast<double>(batch.size()), 4)});
+
+    util::Table table({"Band", "Cells vs full", "Exact-score jobs", "Mean score ratio"});
+    for (std::size_t w : {8u, 16u, 32u, 64u, 128u, 256u, 1024u}) {
+      std::vector<std::size_t> cells(sweep_batch.size());
+      std::vector<double> ratio(sweep_batch.size(), 1.0);
+      std::vector<int> exact(sweep_batch.size(), 0);
+      util::parallel_for_indexed(sweep_batch.size(), [&](std::size_t i) {
+        auto b = align::smith_waterman_banded(sweep_batch.refs[i], sweep_batch.queries[i],
+                                              scoring, w);
+        cells[i] = b.cells_computed;
+        exact[i] = b.result.score == oracle[i].score ? 1 : 0;
+        ratio[i] = oracle[i].score > 0 ? static_cast<double>(b.result.score) /
+                                             static_cast<double>(oracle[i].score)
+                                       : 1.0;
+      });
+      std::size_t total_cells = 0;
+      int total_exact = 0;
+      double ratio_sum = 0;
+      for (std::size_t i = 0; i < sweep_batch.size(); ++i) {
+        total_cells += cells[i];
+        total_exact += exact[i];
+        ratio_sum += ratio[i];
+      }
+      table.add_row({std::to_string(w),
+                     util::Table::num(100.0 * static_cast<double>(total_cells) /
+                                          static_cast<double>(full_cells),
+                                      1) + "%",
+                     std::to_string(total_exact) + "/" + std::to_string(sweep_batch.size()),
+                     util::Table::num(ratio_sum / static_cast<double>(sweep_batch.size()), 4)});
+    }
+
+    std::printf("Banded extension sweep — dataset B' (%zu jobs, %.1f M full cells)\n\n%s\n",
+                sweep_batch.size(), static_cast<double>(full_cells) / 1e6,
+                table.render().c_str());
+    std::printf(
+        "The paper's Sec. VII-B intuition: the optimal path hugs the diagonal, so a\n"
+        "modest band retains near-full quality at a fraction of the work; the kernel\n"
+        "harness above shows the win is now real end to end — skipped 8x8 blocks are\n"
+        "neither fetched nor charged by the simulated cost model.\n");
   }
 
-  std::printf("Banded extension ablation — dataset B' (%zu jobs, %.1f M full cells)\n\n%s\n",
-              batch.size(), static_cast<double>(full_cells) / 1e6, table.render().c_str());
-  std::printf(
-      "The paper's Sec. VII-B intuition: the optimal path hugs the diagonal, so a\n"
-      "modest band retains near-full quality at a fraction of the work — but band\n"
-      "width would vary per query, which worsens load balancing on GPUs.\n");
-  return 0;
+  return ok ? 0 : 1;
 }

@@ -19,8 +19,15 @@ struct BatchTiming {
 /// Aligns every (query, ref) pair; OpenMP-parallel across pairs when
 /// available, capped at `threads` host threads (0 = the default team).
 /// Deterministic: output order matches input order.
+///
+/// Pairs carrying a band (seq::PairBatch::band_of) run through
+/// smith_waterman_banded at that band — bit-identical to what the banded
+/// simulated kernels produce for the same batch. `zdrop > 0` additionally
+/// applies z-drop row pruning to every pair (a results-changing heuristic;
+/// see BandedParams::zdrop).
 std::vector<AlignmentResult> align_batch(const seq::PairBatch& batch,
                                          const ScoringScheme& scoring,
-                                         BatchTiming* timing = nullptr, int threads = 0);
+                                         BatchTiming* timing = nullptr, int threads = 0,
+                                         Score zdrop = 0);
 
 }  // namespace saloba::align

@@ -76,8 +76,10 @@ ExtensionResult extend(std::span<const seq::BaseCode> ref,
 
     // Z-drop: once even this row's best trails the global best by more
     // than zdrop, further rows cannot recover (scores only decay with
-    // distance), so cut the sweep — BWA-MEM's pruning heuristic.
-    if (params.zdrop > 0 && row_best < out.score - params.zdrop) {
+    // distance), so cut the sweep — BWA-MEM's pruning heuristic. Only rows
+    // that still had work to skip count as a drop, so `zdropped` always
+    // implies cells_computed < the full |ref|·|query| table.
+    if (params.zdrop > 0 && i + 1 < n && row_best < out.score - params.zdrop) {
       out.zdropped = true;
       break;
     }

@@ -12,6 +12,7 @@ Aligner::Aligner(AlignerOptions options) : options_(std::move(options)) {
   sched.max_shard_pairs = options_.max_shard_pairs;
   sched.policy = options_.split_policy;
   sched.threads = options_.scheduler_threads;
+  sched.band = options_.band_policy();
   scheduler_ = std::make_unique<BatchScheduler>(backend_.get(), sched);
 }
 

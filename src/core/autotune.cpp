@@ -29,7 +29,11 @@ SchedulerOptions recommend_scheduler(const DatasetStats& stats, int lanes) {
   if (lanes < 1) lanes = 1;
   if (stats.jobs == 0) return opts;  // nothing to schedule; defaults are safe
 
-  const double skew = std::max(stats.cv_query_len, stats.cv_ref_len);
+  // Banded batches are costed by their in-band cells — O(n·band), not
+  // O(n·m) — so the length CVs overstate their imbalance; the cell CV is
+  // what the shard packers actually balance (Sec. VII-B).
+  const double skew =
+      stats.banded ? stats.cv_cells : std::max(stats.cv_query_len, stats.cv_ref_len);
   if (skew <= 0.25) {
     // Near-uniform lengths: any split is balanced, so keep one shard per
     // lane; on a single lane, static packing preserves the scheduler's

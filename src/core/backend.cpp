@@ -18,8 +18,9 @@ std::vector<double> lane_weights(const AlignBackend& backend) {
   return weights;
 }
 
-CpuBackend::CpuBackend(align::ScoringScheme scoring, int lanes, int threads_total)
-    : scoring_(scoring), lanes_(lanes) {
+CpuBackend::CpuBackend(align::ScoringScheme scoring, int lanes, int threads_total,
+                       align::Score zdrop)
+    : scoring_(scoring), lanes_(lanes), zdrop_(zdrop) {
   SALOBA_CHECK_MSG(scoring_.valid(), "invalid scoring scheme");
   SALOBA_CHECK_MSG(lanes_ >= 1, "CPU backend needs at least one lane");
   if (lanes_ > 1) {
@@ -41,8 +42,9 @@ BackendOutput CpuBackend::run(const seq::PairBatch& batch, int lane) {
   SALOBA_CHECK_MSG(lane >= 0 && lane < lanes_, "lane " << lane << " out of range");
   align::BatchTiming timing;
   BackendOutput out;
-  out.results = align::align_batch(batch, scoring_, &timing, threads_per_lane_);
+  out.results = align::align_batch(batch, scoring_, &timing, threads_per_lane_, zdrop_);
   out.time_ms = timing.wall_ms;
+  out.cells = timing.cells;
   return out;
 }
 
@@ -98,6 +100,7 @@ BackendOutput SimulatedGpuBackend::run(const seq::PairBatch& batch, int lane) {
   BackendOutput out;
   out.results = std::move(kr.results);
   out.time_ms = kr.time.total_ms;
+  out.cells = kr.stats.totals.dp_cells;
   out.kernel_stats = kr.stats;
   out.time_breakdown = kr.time;
   return out;
@@ -106,7 +109,7 @@ BackendOutput SimulatedGpuBackend::run(const seq::PairBatch& batch, int lane) {
 std::unique_ptr<AlignBackend> make_backend(const AlignerOptions& options) {
   if (options.backend == Backend::kCpu) {
     return std::make_unique<CpuBackend>(options.scoring, options.cpu_lanes,
-                                        options.cpu_threads);
+                                        options.cpu_threads, options.zdrop);
   }
   return std::make_unique<SimulatedGpuBackend>(options);
 }

@@ -24,6 +24,10 @@ struct BackendOutput {
   /// Wall-clock milliseconds for the CPU backend; simulated kernel
   /// milliseconds for the simulated backend.
   double time_ms = 0.0;
+  /// DP cells actually computed: in-band cells for banded pairs, minus any
+  /// rows a CPU-side zdrop pruned. 0 = the backend did not count (the
+  /// scheduler then falls back to the batch's nominal banded cell count).
+  std::size_t cells = 0;
   /// Simulated backend only.
   std::optional<gpusim::KernelStats> kernel_stats;
   std::optional<gpusim::TimeBreakdown> time_breakdown;
@@ -61,7 +65,11 @@ std::vector<double> lane_weights(const AlignBackend& backend);
 /// oversubscribe the machine and wall-clock timing stays honest.
 class CpuBackend final : public AlignBackend {
  public:
-  explicit CpuBackend(align::ScoringScheme scoring, int lanes = 1, int threads_total = 0);
+  /// `zdrop > 0` applies z-drop row pruning to every pair (see
+  /// align::BandedParams::zdrop); per-pair bands come from the batch itself
+  /// (the scheduler materializes AlignerOptions band knobs into it).
+  explicit CpuBackend(align::ScoringScheme scoring, int lanes = 1, int threads_total = 0,
+                      align::Score zdrop = 0);
 
   const std::string& name() const override { return name_; }
   int lanes() const override { return lanes_; }
@@ -76,6 +84,7 @@ class CpuBackend final : public AlignBackend {
   align::ScoringScheme scoring_;
   int lanes_ = 1;
   int threads_per_lane_ = 0;
+  align::Score zdrop_ = 0;
   std::string name_ = "cpu";
 };
 

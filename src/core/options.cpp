@@ -1,9 +1,30 @@
 #include "core/options.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <stdexcept>
 
 namespace saloba::core {
+
+std::size_t BandPolicy::band_for(std::size_t query_len) const {
+  if (!banded()) return 0;
+  std::size_t frac = band_frac > 0.0
+                         ? static_cast<std::size_t>(
+                               std::ceil(band_frac * static_cast<double>(query_len)))
+                         : 0;
+  // Never 0 for a banded policy: a degenerate band of 0 would read as
+  // "full table" downstream (the shared 0-means-unbanded convention).
+  return std::max<std::size_t>(1, std::max(band, frac));
+}
+
+void materialize_bands(seq::PairBatch& batch, const BandPolicy& policy) {
+  if (!policy.banded() || batch.has_band_info()) return;
+  batch.bands.resize(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch.bands[i] = policy.band_for(batch.queries[i].size());
+  }
+}
 
 std::vector<std::string> device_preset_list(const std::string& device) {
   std::vector<std::string> presets;

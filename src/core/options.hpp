@@ -15,6 +15,35 @@ enum class Backend {
   kSimulated,  ///< a kernel on the simulated GPU (simulated kernel time)
 };
 
+/// Banded-extension defaults (Sec. VII-B) the Aligner / StreamAligner /
+/// BatchScheduler stack materializes into batches. A batch's own per-pair
+/// band channel (seq::PairBatch::bands, produced by
+/// seedext::make_extension_jobs) always wins; this policy only applies to
+/// batches that carry no band information of their own. Z-drop is not part
+/// of the policy: it is a backend-construction knob (AlignerOptions::zdrop
+/// → CpuBackend), not something the scheduler applies per batch.
+struct BandPolicy {
+  /// Fixed band floor: only cells with |i - j| <= band are computed
+  /// (0 = full table unless band_frac sets one).
+  std::size_t band = 0;
+  /// Query-length-proportional band: effective = max(band, band_frac·|q|).
+  double band_frac = 0.0;
+
+  bool banded() const { return band > 0 || band_frac > 0.0; }
+  /// Effective band for a query of `query_len` bases (0 when not banded).
+  std::size_t band_for(std::size_t query_len) const;
+
+  bool operator==(const BandPolicy&) const = default;
+};
+
+/// Materializes `policy` into the batch's per-pair band channel:
+/// bands[i] = policy.band_for(|query i|). No-op when the policy is unbanded
+/// or the batch already carries band information of its own (a seedext
+/// extension batch's per-job bands always win over the Aligner-level
+/// default). After this, every consumer — CPU backend, simulated kernels,
+/// shard packing — sees one uniform channel.
+void materialize_bands(seq::PairBatch& batch, const BandPolicy& policy);
+
 struct AlignerOptions {
   Backend backend = Backend::kCpu;
   /// Kernel name for the simulated backend (see kernels::kernel_names()).
@@ -28,6 +57,22 @@ struct AlignerOptions {
   align::ScoringScheme scoring;
   /// Paper-scale batch size used for footprint checks (0 = actual batch).
   std::size_t nominal_batch_pairs = 0;
+
+  // --- Banded extension (Sec. VII-B) --------------------------------------
+  /// Default band for batches without a per-pair band channel: only cells
+  /// with |i - j| <= band are computed, out-of-band cells read H = 0,
+  /// E/F = -inf (align::smith_waterman_banded semantics). 0 = full table.
+  std::size_t band = 0;
+  /// Query-proportional band: effective = max(band, band_frac · |query|).
+  double band_frac = 0.0;
+  /// Z-drop early termination for the CPU backend's banded sweep (<= 0
+  /// disables). A pruning heuristic like BWA-MEM's: it can change results,
+  /// so the simulated kernels — verified bit-exact against
+  /// smith_waterman_banded — do not apply it. Takes effect at backend
+  /// construction (make_backend → CpuBackend), not through the scheduler.
+  align::Score zdrop = 0;
+  /// The band knobs above as a BandPolicy (what the scheduler materializes).
+  BandPolicy band_policy() const { return BandPolicy{band, band_frac}; }
 
   // --- Scheduler (host-side batching) ------------------------------------
   /// Simulated devices the scheduler spreads shards across (Sec. VII-C

@@ -61,7 +61,7 @@ AlignOutput BatchScheduler::run_single(const seq::PairBatch& batch) {
   BackendOutput bo = backend_->run(batch, 0);
   AlignOutput out;
   out.results = std::move(bo.results);
-  out.cells = batch.total_cells();
+  out.cells = bo.cells != 0 ? bo.cells : batch.total_banded_cells();
   out.time_ms = bo.time_ms;
   out.gcups = gcups_at(out.cells, out.time_ms);
   out.kernel_stats = std::move(bo.kernel_stats);
@@ -77,6 +77,23 @@ AlignOutput BatchScheduler::run_single(const seq::PairBatch& batch) {
 }
 
 AlignOutput BatchScheduler::run(const seq::PairBatch& batch) {
+  // A banded option set is materialized into a real per-pair band channel
+  // up front, so sharding, backends and kernels all see one uniform
+  // representation; a batch that already carries bands wins over the policy
+  // and is forwarded untouched (no copy on that path, nor when unbanded).
+  // The materialization copies the batch once — callers for whom that
+  // transient copy matters at scale should attach per-pair bands themselves
+  // (seedext jobs do) or stream: StreamAligner materializes each chunk in
+  // place inside its residency budget.
+  if (options_.band.banded() && !batch.has_band_info() && batch.size() > 0) {
+    seq::PairBatch banded = batch;
+    materialize_bands(banded, options_.band);
+    return run_resolved(banded);
+  }
+  return run_resolved(batch);
+}
+
+AlignOutput BatchScheduler::run_resolved(const seq::PairBatch& batch) {
   if (batch.size() == 0) {
     AlignOutput out;
     out.schedule.lanes = backend_->lanes();
@@ -137,7 +154,6 @@ AlignOutput BatchScheduler::merge(const seq::PairBatch& batch,
                                   std::vector<BackendOutput>& outputs) {
   AlignOutput out;
   out.results.resize(batch.size());
-  out.cells = batch.total_cells();
   out.schedule.shards = shards.size();
   out.schedule.lanes = backend_->lanes();
   out.schedule.lane_ms.assign(static_cast<std::size_t>(backend_->lanes()), 0.0);
@@ -154,6 +170,7 @@ AlignOutput BatchScheduler::merge(const seq::PairBatch& batch,
     for (std::size_t i = 0; i < shard.indices.size(); ++i) {
       out.results[shard.indices[i]] = bo.results[i];
     }
+    out.cells += bo.cells != 0 ? bo.cells : shard.batch.total_banded_cells();
     out.schedule.lane_ms[static_cast<std::size_t>(shard.lane)] += bo.time_ms;
     if (bo.kernel_stats) {
       if (!out.kernel_stats) out.kernel_stats.emplace();

@@ -31,6 +31,14 @@ struct SchedulerOptions {
   gpusim::SplitPolicy policy = gpusim::SplitPolicy::kSorted;
   /// Dispatch threads: 0 = one per backend lane.
   std::size_t threads = 0;
+  /// Banded-extension defaults (AlignerOptions band/band_frac). For a
+  /// batch without its own band channel the scheduler materializes
+  /// band.band_for(|query|) into every shard's per-pair bands, so backends
+  /// and kernels see one uniform channel; a batch that already carries
+  /// bands (seedext extension jobs) is forwarded untouched. Z-drop is a
+  /// backend-construction knob (AlignerOptions::zdrop), not a scheduler
+  /// default.
+  BandPolicy band;
 };
 
 /// How a batch was executed: shard count and per-lane time accounting.
@@ -69,6 +77,10 @@ struct AlignOutput {
   /// Wall-clock milliseconds for the CPU backend; simulated kernel
   /// milliseconds (makespan across devices) for the simulated backend.
   double time_ms = 0.0;
+  /// DP cells actually computed (BackendOutput::cells summed over shards):
+  /// in-band cells for banded pairs, minus any zdrop-pruned rows on the CPU
+  /// backend; Σ |q|·|r| for plain full-table runs — the numerator of
+  /// `gcups`.
   std::size_t cells = 0;
   double gcups = 0.0;  ///< giga cell-updates per second at `time_ms`
   /// Simulated backend only; aggregated over every shard. The breakdown is
@@ -90,9 +102,13 @@ class BatchScheduler {
   /// Aligns every pair of the batch across the backend's lanes. Exceptions
   /// from shard runs (kernels::KernelUnsupportedError,
   /// gpusim::DeviceOomError) propagate after every in-flight shard settled.
+  /// A banded SchedulerOptions::band policy is materialized into a per-pair
+  /// band channel first (see core::materialize_bands) unless the batch
+  /// already carries one.
   AlignOutput run(const seq::PairBatch& batch);
 
  private:
+  AlignOutput run_resolved(const seq::PairBatch& batch);
   AlignOutput run_single(const seq::PairBatch& batch);
   AlignOutput merge(const seq::PairBatch& batch, const std::vector<gpusim::Shard>& shards,
                     std::vector<BackendOutput>& outputs);

@@ -36,7 +36,7 @@ struct OutChunk {
 
 bool same_schedule(const SchedulerOptions& a, const SchedulerOptions& b) {
   return a.max_shard_pairs == b.max_shard_pairs && a.policy == b.policy &&
-         a.threads == b.threads;
+         a.threads == b.threads && a.band == b.band;
 }
 
 void raise_peak(std::atomic<std::size_t>& peak, std::size_t value) {
@@ -55,7 +55,17 @@ bool ResidentChunkSource::next(seq::PairBatch& chunk) {
   if (cursor_ >= batch_->size()) return false;
   std::size_t end = std::min(cursor_ + chunk_pairs_, batch_->size());
   for (std::size_t i = cursor_; i < end; ++i) {
-    chunk.add(batch_->queries[i], batch_->refs[i]);
+    // Resolve the source batch's band channel per pair (band_of applies its
+    // default_band too) so streamed chunks stay bit-identical to a one-shot
+    // run over the same banded batch.
+    chunk.add(batch_->queries[i], batch_->refs[i], batch_->band_of(i));
+  }
+  if (batch_->has_band_info() && chunk.bands.empty()) {
+    // Every pair of this chunk resolved to band 0 (explicit full table).
+    // Keep the chunk marked as band-carrying anyway: the source batch's
+    // bands must keep winning over any Aligner-level band policy downstream,
+    // exactly as they do on the one-shot path.
+    chunk.bands.assign(chunk.size(), 0);
   }
   cursor_ = end;
   return true;
@@ -201,6 +211,19 @@ StreamStats StreamAligner::run(PairChunkSource& source, const ChunkSink& sink) {
       std::vector<std::pair<SchedulerOptions, std::unique_ptr<BatchScheduler>>> cache;
       while (auto in = input.pop()) {
         if (aborted.load()) return;  // don't align chunks nobody will emit
+        // Materialize the band policy into the chunk the worker owns (in
+        // place — no copy): the autotuner then judges the banded workload
+        // it will actually run, and the scheduler forwards the band channel
+        // untouched. Chunks that already carry bands (a banded source
+        // batch) win over the policy, as everywhere else. An explicit
+        // StreamOptions::schedule can override the band policy only by
+        // setting one of its own; otherwise the AlignerOptions knobs apply,
+        // keeping streamed runs bit-identical to one-shot Aligner::align
+        // with the same AlignerOptions.
+        materialize_bands(in->batch,
+                          stream_.schedule && stream_.schedule->band.banded()
+                              ? stream_.schedule->band
+                              : options_.band_policy());
         SchedulerOptions wanted;
         if (stream_.schedule) {
           wanted = *stream_.schedule;

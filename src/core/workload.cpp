@@ -12,23 +12,14 @@ namespace {
 
 DatasetBatch jobs_to_dataset(std::vector<seedext::ExtensionJob> jobs, std::size_t reads) {
   DatasetBatch out;
-  std::vector<double> qlens, rlens;
-  qlens.reserve(jobs.size());
-  rlens.reserve(jobs.size());
   for (auto& j : jobs) {
     if (j.query.empty() || j.ref.empty()) continue;
-    qlens.push_back(static_cast<double>(j.query.size()));
-    rlens.push_back(static_cast<double>(j.ref.size()));
-    out.stats.max_query_len = std::max(out.stats.max_query_len, j.query.size());
-    out.stats.max_ref_len = std::max(out.stats.max_ref_len, j.ref.size());
-    out.batch.add(std::move(j.query), std::move(j.ref));
+    // The pipeline's per-job DP band travels with the pair, so dataset
+    // batches exercise the banded path exactly as the mapper would.
+    out.batch.add(std::move(j.query), std::move(j.ref), j.band);
   }
+  out.stats = stats_of(out.batch);
   out.stats.reads = reads;
-  out.stats.jobs = out.batch.size();
-  out.stats.mean_query_len = util::mean(qlens);
-  out.stats.mean_ref_len = util::mean(rlens);
-  out.stats.cv_query_len = util::coeff_variation(qlens);
-  out.stats.cv_ref_len = util::coeff_variation(rlens);
   return out;
 }
 
@@ -55,12 +46,15 @@ DatasetBatch make_dataset(const std::vector<seq::BaseCode>& genome, std::size_t 
 DatasetStats stats_of(const seq::PairBatch& batch) {
   DatasetStats stats;
   stats.jobs = batch.size();
-  std::vector<double> qlens, rlens;
+  stats.banded = batch.banded();
+  std::vector<double> qlens, rlens, cells;
   qlens.reserve(batch.size());
   rlens.reserve(batch.size());
+  cells.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     qlens.push_back(static_cast<double>(batch.queries[i].size()));
     rlens.push_back(static_cast<double>(batch.refs[i].size()));
+    cells.push_back(static_cast<double>(batch.cells_of(i)));
     stats.max_query_len = std::max(stats.max_query_len, batch.queries[i].size());
     stats.max_ref_len = std::max(stats.max_ref_len, batch.refs[i].size());
   }
@@ -68,6 +62,7 @@ DatasetStats stats_of(const seq::PairBatch& batch) {
   stats.mean_ref_len = util::mean(rlens);
   stats.cv_query_len = util::coeff_variation(qlens);
   stats.cv_ref_len = util::coeff_variation(rlens);
+  stats.cv_cells = util::coeff_variation(cells);
   return stats;
 }
 

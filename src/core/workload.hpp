@@ -28,6 +28,12 @@ struct DatasetStats {
   double mean_ref_len = 0.0;
   double cv_query_len = 0.0;  ///< coefficient of variation — imbalance proxy
   double cv_ref_len = 0.0;
+  /// CV of per-pair DP cells, costed through the band channel when one is
+  /// present (seq::PairBatch::cells_of) — the imbalance measure the
+  /// scheduler actually pays. Banding caps per-pair cost at O(n·band), so a
+  /// length-skewed batch can still be cost-uniform once banded.
+  double cv_cells = 0.0;
+  bool banded = false;  ///< at least one pair carries a band
   std::size_t max_query_len = 0;
   std::size_t max_ref_len = 0;
 };

@@ -15,6 +15,7 @@ void WarpCounters::merge(const WarpCounters& other) {
   shared_conflict_cycles += other.shared_conflict_cycles;
   syncs += other.syncs;
   dp_cells += other.dp_cells;
+  dp_cells_skipped += other.dp_cells_skipped;
 }
 
 double WarpCounters::lane_utilization(int warp_size) const {
@@ -40,6 +41,7 @@ std::string KernelStats::summary(int warp_size) const {
       << " shm_req=" << totals.shared_requests
       << " shm_conflict_cyc=" << totals.shared_conflict_cycles
       << " cells=" << totals.dp_cells;
+  if (totals.dp_cells_skipped > 0) oss << " cells_skipped=" << totals.dp_cells_skipped;
   return oss.str();
 }
 

@@ -19,6 +19,11 @@ struct WarpCounters {
   std::uint64_t shared_conflict_cycles = 0;  ///< extra cycles from bank conflicts
   std::uint64_t syncs = 0;
   std::uint64_t dp_cells = 0;            ///< functional work: DP cells computed
+  /// DP cells pruned by banded extension (Sec. VII-B): cells of the nominal
+  /// |q|·|r| table the kernel never evaluated because they fall outside
+  /// |i - j| <= band. dp_cells + dp_cells_skipped == the batch's full-table
+  /// cell count, so the two together account for the banded saving exactly.
+  std::uint64_t dp_cells_skipped = 0;
 
   void merge(const WarpCounters& other);
 

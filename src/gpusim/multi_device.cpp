@@ -7,13 +7,30 @@
 
 namespace saloba::gpusim {
 
+namespace {
+
+/// Appends pair `i` of `batch` to shard `s`, preserving any band channel —
+/// a banded pair must stay banded inside its shard or the backend would
+/// silently compute the full table.
+void append_pair(Shard& s, const seq::PairBatch& batch, std::size_t i) {
+  if (batch.has_band_info()) {
+    s.batch.add(batch.queries[i], batch.refs[i], batch.band_of(i));
+  } else {
+    s.batch.add(batch.queries[i], batch.refs[i]);
+  }
+}
+
+}  // namespace
+
 std::vector<std::size_t> shard_order(const seq::PairBatch& batch, SplitPolicy policy) {
   std::vector<std::size_t> order(batch.size());
   std::iota(order.begin(), order.end(), 0);
   if (policy == SplitPolicy::kSorted) {
+    // Sort by the DP cost a lane will actually pay: banded pairs cost their
+    // in-band O(n·band) cells, not the full n·m area (identical to the
+    // classic area sort when no pair is banded).
     std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return batch.queries[a].size() * batch.refs[a].size() >
-             batch.queries[b].size() * batch.refs[b].size();
+      return batch.cells_of(a) > batch.cells_of(b);
     });
   }
   return order;
@@ -38,7 +55,7 @@ std::vector<Shard> make_shards(const seq::PairBatch& batch, int devices, SplitPo
       std::size_t pos = i % lanes;
       if (policy == SplitPolicy::kSorted && (i / lanes) % 2 == 1) pos = lanes - 1 - pos;
       Shard& s = shards[pos];
-      s.batch.add(batch.queries[order[i]], batch.refs[order[i]]);
+      append_pair(s, batch, order[i]);
       s.indices.push_back(order[i]);
     }
   } else {
@@ -48,7 +65,7 @@ std::vector<Shard> make_shards(const seq::PairBatch& batch, int devices, SplitPo
       std::size_t end = std::min(begin + max_shard_pairs, order.size());
       Shard s;
       for (std::size_t i = begin; i < end; ++i) {
-        s.batch.add(batch.queries[order[i]], batch.refs[order[i]]);
+        append_pair(s, batch, order[i]);
         s.indices.push_back(order[i]);
       }
       shards.push_back(std::move(s));
@@ -57,7 +74,7 @@ std::vector<Shard> make_shards(const seq::PairBatch& batch, int devices, SplitPo
     for (Shard& s : shards) {
       auto least = std::min_element(lane_load.begin(), lane_load.end());
       s.lane = static_cast<int>(least - lane_load.begin());
-      *least += s.batch.total_cells();
+      *least += s.batch.total_banded_cells();
     }
   }
 
@@ -93,9 +110,7 @@ std::vector<Shard> make_shards(const seq::PairBatch& batch,
     }
     return best;
   };
-  auto pair_cells = [&](std::size_t i) {
-    return static_cast<double>(batch.queries[i].size() * batch.refs[i].size());
-  };
+  auto pair_cells = [&](std::size_t i) { return static_cast<double>(batch.cells_of(i)); };
 
   std::vector<Shard> shards;
   if (max_shard_pairs == 0) {
@@ -105,7 +120,7 @@ std::vector<Shard> make_shards(const seq::PairBatch& batch,
     for (int d = 0; d < devices; ++d) shards[static_cast<std::size_t>(d)].lane = d;
     for (std::size_t i : order) {
       std::size_t lane = pick_lane(pair_cells(i));
-      shards[lane].batch.add(batch.queries[i], batch.refs[i]);
+      append_pair(shards[lane], batch, i);
       shards[lane].indices.push_back(i);
       lane_load[lane] += pair_cells(i);
     }
@@ -116,12 +131,12 @@ std::vector<Shard> make_shards(const seq::PairBatch& batch,
       std::size_t end = std::min(begin + max_shard_pairs, order.size());
       Shard s;
       for (std::size_t i = begin; i < end; ++i) {
-        s.batch.add(batch.queries[order[i]], batch.refs[order[i]]);
+        append_pair(s, batch, order[i]);
         s.indices.push_back(order[i]);
       }
-      std::size_t lane = pick_lane(static_cast<double>(s.batch.total_cells()));
+      std::size_t lane = pick_lane(static_cast<double>(s.batch.total_banded_cells()));
       s.lane = static_cast<int>(lane);
-      lane_load[lane] += static_cast<double>(s.batch.total_cells());
+      lane_load[lane] += static_cast<double>(s.batch.total_banded_cells());
       shards.push_back(std::move(s));
     }
   }

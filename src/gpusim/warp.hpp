@@ -44,6 +44,10 @@ class WarpContext {
   /// Functional progress: DP cells computed by this warp instruction burst.
   void add_cells(std::uint64_t cells) { counters_.dp_cells += cells; }
 
+  /// Cells of the nominal full table pruned by banded extension — skipped
+  /// blocks and masked in-block cells alike (see WarpCounters).
+  void add_skipped_cells(std::uint64_t cells) { counters_.dp_cells_skipped += cells; }
+
   const WarpCounters& counters() const { return counters_; }
 
  private:

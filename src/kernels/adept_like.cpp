@@ -127,25 +127,54 @@ class AdeptKernel final : public ExtensionKernel {
       const Score alpha = scoring.alpha();
       const Score beta = scoring.beta();
 
+      // Banded extension (Sec. VII-B): the band maps cleanly onto ADEPT's
+      // diagonal wavefront — on diagonal d only columns with |d - 2j| <=
+      // band hold in-band cells, so out-of-band lanes are masked off (they
+      // still write the neutral H = 0 / E,F = -inf their neighbours read)
+      // and warps fully outside the window issue nothing.
+      const std::size_t pair_band = batch.band_of(p);
+      const auto bb = static_cast<std::int64_t>(pair_band);
+
       const std::size_t diags = n + m - 1;
       for (std::size_t d = 0; d < diags; ++d) {
         std::size_t j_lo = (d >= n) ? d - n + 1 : 0;
         std::size_t j_hi = std::min(m - 1, d);
+        // In-band column window of this diagonal (the full range when
+        // unbanded). Empty when the diagonal lies wholly outside the band.
+        std::size_t jb_lo = j_lo;
+        std::size_t jb_hi = j_hi;
+        if (pair_band > 0) {
+          const auto dd = static_cast<std::int64_t>(d);
+          jb_lo = std::max<std::int64_t>(static_cast<std::int64_t>(j_lo),
+                                         dd > bb ? (dd - bb + 1) / 2 : 0);
+          jb_hi = std::min<std::int64_t>(static_cast<std::int64_t>(j_hi), (dd + bb) / 2);
+        }
+        const bool any_in_band = jb_lo <= jb_hi;
 
         // Accounting: every warp whose column band intersects the active
-        // range pays the per-diagonal cost; a block-wide barrier follows
-        // when the alignment spans multiple warps.
-        for (int w = 0; w < warps; ++w) {
-          std::size_t band_lo = static_cast<std::size_t>(w) * warp_size;
-          std::size_t band_hi = band_lo + static_cast<std::size_t>(warp_size) - 1;
-          if (band_lo > j_hi || band_hi < j_lo) continue;
-          int active = static_cast<int>(std::min(band_hi, j_hi) - std::max(band_lo, j_lo) + 1);
-          blk.warp(w).issue(kInstrPerDiag, active);
+        // in-band range pays the per-diagonal cost; a block-wide barrier
+        // follows when the alignment spans multiple warps.
+        if (any_in_band) {
+          for (int w = 0; w < warps; ++w) {
+            std::size_t band_lo = static_cast<std::size_t>(w) * warp_size;
+            std::size_t band_hi = band_lo + static_cast<std::size_t>(warp_size) - 1;
+            if (band_lo > jb_hi || band_hi < jb_lo) continue;
+            int active =
+                static_cast<int>(std::min(band_hi, jb_hi) - std::max(band_lo, jb_lo) + 1);
+            blk.warp(w).issue(kInstrPerDiag, active);
+          }
         }
         if (warps > 1) blk.syncthreads();
 
         for (std::size_t j = j_lo; j <= j_hi; ++j) {
           std::size_t i = d - j;
+          if (pair_band > 0 && (j < jb_lo || j > jb_hi)) {
+            // Masked lane: publish the out-of-band boundary values.
+            h_cur[j] = 0;
+            e_cur[j] = kBoundaryNegInf;
+            f_cur[j] = kBoundaryNegInf;
+            continue;
+          }
           Score h_left = (j == 0) ? 0 : h_d1[j - 1];
           Score e_left = (j == 0) ? kBoundaryNegInf : e_d1[j - 1];
           Score h_up = (i == 0) ? 0 : h_d1[j];
@@ -162,7 +191,9 @@ class AdeptKernel final : public ExtensionKernel {
           align::take_better(best, AlignmentResult{h, static_cast<std::int32_t>(i),
                                                    static_cast<std::int32_t>(j)});
         }
-        blk.warp(0).add_cells(j_hi - j_lo + 1);
+        if (any_in_band) blk.warp(0).add_cells(jb_hi - jb_lo + 1);
+        blk.warp(0).add_skipped_cells((j_hi - j_lo + 1) -
+                                      (any_in_band ? jb_hi - jb_lo + 1 : 0));
         std::swap(h_d2, h_d1);
         std::swap(h_d1, h_cur);
         std::swap(e_d1, e_cur);

@@ -74,4 +74,88 @@ void block_dp(const seq::BaseCode* ref, const seq::BaseCode* query, int rh, int 
   out.best = best;
 }
 
+bool block_intersects_band(std::size_t i0, std::size_t j0, int rh, int qw, std::size_t band) {
+  if (band == 0) return true;
+  // The block's j - i range is [j0 - (i0 + rh - 1), (j0 + qw - 1) - i0]; it
+  // holds an in-band cell iff that interval meets [-band, band].
+  const std::int64_t lo =
+      static_cast<std::int64_t>(j0) - (static_cast<std::int64_t>(i0) + rh - 1);
+  const std::int64_t hi =
+      (static_cast<std::int64_t>(j0) + qw - 1) - static_cast<std::int64_t>(i0);
+  return lo <= static_cast<std::int64_t>(band) && hi >= -static_cast<std::int64_t>(band);
+}
+
+std::uint64_t block_dp_banded(const seq::BaseCode* ref, const seq::BaseCode* query, int rh,
+                              int qw, std::size_t i0, std::size_t j0, std::size_t band,
+                              const BlockBoundary& in, const align::ScoringScheme& scoring,
+                              BlockOutput& out) {
+  if (band == 0) {
+    block_dp(ref, query, rh, qw, i0, j0, in, scoring, out);
+    return static_cast<std::uint64_t>(rh) * static_cast<std::uint64_t>(qw);
+  }
+  SALOBA_DCHECK(rh >= 1 && rh <= kBlockDim && qw >= 1 && qw <= kBlockDim);
+  using align::Score;
+  const Score alpha = scoring.alpha();
+  const Score beta = scoring.beta();
+  const auto b = static_cast<std::int64_t>(band);
+
+  Score h_above[kBlockDim];
+  Score f_above[kBlockDim];
+  for (int k = 0; k < qw; ++k) {
+    h_above[k] = in.top_h[k];
+    f_above[k] = in.top_f[k];
+  }
+
+  align::AlignmentResult best;
+  best.score = 0;
+  std::uint64_t computed = 0;
+
+  for (int r = 0; r < rh; ++r) {
+    Score h_left = in.left_h[r];
+    Score e = in.left_e[r];
+    Score h_diag = (r == 0) ? in.diag_h : in.left_h[r - 1];
+    const seq::BaseCode rb = ref[r];
+    const std::int64_t i = static_cast<std::int64_t>(i0) + r;
+
+    for (int c = 0; c < qw; ++c) {
+      const std::int64_t j = static_cast<std::int64_t>(j0) + c;
+      Score h, f;
+      if (j - i > b || i - j > b) {
+        // Masked cell: publish the out-of-band boundary values so in-band
+        // neighbours (including the blocks reading this block's outputs)
+        // see exactly what smith_waterman_banded's untouched arrays hold.
+        h = 0;
+        e = kBoundaryNegInf;
+        f = kBoundaryNegInf;
+      } else {
+        e = std::max(h_left - alpha, e - beta);
+        f = std::max(h_above[c] - alpha, f_above[c] - beta);
+        h = std::max({Score{0}, h_diag + scoring.substitution(rb, query[c]), e, f});
+        ++computed;
+        if (h > best.score) {
+          best.score = h;
+          best.ref_end = static_cast<std::int32_t>(i);
+          best.query_end = static_cast<std::int32_t>(j);
+        }
+      }
+
+      h_diag = h_above[c];
+      h_above[c] = h;
+      f_above[c] = f;
+      h_left = h;
+
+      if (c == qw - 1) {
+        out.right_h[r] = h;
+        out.right_e[r] = e;
+      }
+    }
+  }
+  for (int k = 0; k < qw; ++k) {
+    out.bottom_h[k] = h_above[k];
+    out.bottom_f[k] = f_above[k];
+  }
+  out.best = best;
+  return computed;
+}
+
 }  // namespace saloba::kernels

@@ -54,4 +54,21 @@ void block_dp(const seq::BaseCode* ref, const seq::BaseCode* query, int rh, int 
               std::size_t i0, std::size_t j0, const BlockBoundary& in,
               const align::ScoringScheme& scoring, BlockOutput& out);
 
+/// Cell-exact banded block (Sec. VII-B): cells with |i - j| > band are
+/// masked to the out-of-band boundary semantics (H = 0, E/F = -inf, never a
+/// best-cell candidate), so a kernel tiling the table from banded blocks is
+/// bit-identical to align::smith_waterman_banded at the same band. band == 0
+/// falls through to the full block. Returns the number of in-band cells
+/// actually computed (the rest of rh·qw was skipped).
+std::uint64_t block_dp_banded(const seq::BaseCode* ref, const seq::BaseCode* query, int rh,
+                              int qw, std::size_t i0, std::size_t j0, std::size_t band,
+                              const BlockBoundary& in, const align::ScoringScheme& scoring,
+                              BlockOutput& out);
+
+/// True when the rh×qw block at (i0, j0) contains at least one cell with
+/// |i - j| <= band; band == 0 (unbanded) keeps every block. Fully
+/// out-of-band blocks can be skipped outright: all their outputs are the
+/// neutral boundary values (H = 0, E/F = -inf).
+bool block_intersects_band(std::size_t i0, std::size_t j0, int rh, int qw, std::size_t band);
+
 }  // namespace saloba::kernels

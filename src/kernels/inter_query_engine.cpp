@@ -20,6 +20,9 @@ struct LaneState {
   std::size_t pair = 0;
   bool valid = false;
   bool done = true;
+  std::size_t band = 0;      // effective band of this pair (0 = full table)
+  bool was_in_band = true;   // previous block's band status (fetch gating)
+  bool ref_fetched = false;  // this strip's reference word already charged
   int n_strips = 0;
   int q_words = 0;  // query 8-column block count
   int strip = 0;
@@ -141,6 +144,7 @@ KernelResult run_inter_query(gpusim::Device& device, const seq::PairBatch& batch
         ls.pair = p;
         ls.valid = true;
         ls.done = false;
+        ls.band = batch.band_of(p);
         ls.n_strips = static_cast<int>((batch.refs[p].size() + kBlockDim - 1) / kBlockDim);
         ls.q_words = static_cast<int>((batch.queries[p].size() + kBlockDim - 1) / kBlockDim);
         ls.row_h.assign(batch.queries[p].size(), 0);
@@ -169,16 +173,33 @@ KernelResult run_inter_query(gpusim::Device& device, const seq::PairBatch& batch
         }
         if (active == 0) break;
 
+        // Banded extension (Sec. VII-B): blocks fully outside the pair's
+        // |i - j| <= band are not fetched, loaded, computed, or stored — a
+        // banded thread knows their outputs are the neutral H = 0 / E,F =
+        // -inf without touching memory. Unbanded lanes (band 0) keep the
+        // classic behaviour bit-for-bit.
+        auto lane_block_in_band = [&](const LaneState& ls) {
+          if (ls.band == 0) return true;
+          const auto& query = query_of(ls.pair);
+          const auto& ref = ref_of(ls.pair);
+          const std::size_t i0 = static_cast<std::size_t>(ls.strip) * kBlockDim;
+          const std::size_t j0 = static_cast<std::size_t>(ls.word) * kBlockDim;
+          const int rh = static_cast<int>(std::min<std::size_t>(kBlockDim, ref.size() - i0));
+          const int qw = static_cast<int>(std::min<std::size_t>(kBlockDim, query.size() - j0));
+          return block_intersects_band(i0, j0, rh, qw, ls.band);
+        };
+
         // -- 1. query word fetch (once per block; a packed word may span
         //       several blocks for wide packings, then the fetch only
-        //       happens when the block crosses into a new word).
+        //       happens when the block crosses into a new word — or when the
+        //       band was just re-entered and the word was never fetched).
         clear_acc();
         for (int l = 0; l < warp_size; ++l) {
           LaneState& ls = lanes[static_cast<std::size_t>(l)];
-          if (!ls.valid || ls.done) continue;
+          if (!ls.valid || ls.done || !lane_block_in_band(ls)) continue;
           int first_word = ls.word * kBlockDim / bpw;
           int prev_last = ls.word == 0 ? -1 : (ls.word * kBlockDim - 1) / bpw;
-          if (first_word != prev_last) {
+          if (first_word != prev_last || !ls.was_in_band) {
             acc[static_cast<std::size_t>(l)] = MemAccess{
                 layout.query_words_base + (layout.q_word_off[ls.pair] +
                                            static_cast<std::uint64_t>(first_word)) * 4,
@@ -188,11 +209,12 @@ KernelResult run_inter_query(gpusim::Device& device, const seq::PairBatch& batch
         if (params.texture_inputs) warp.global_read_cached(acc);
         else warp.global_read(acc);
 
-        // -- 2. ref word fetch at strip starts.
+        // -- 2. ref word fetch at the strip's first in-band block.
         clear_acc();
         for (int l = 0; l < warp_size; ++l) {
           LaneState& ls = lanes[static_cast<std::size_t>(l)];
-          if (!ls.valid || ls.done || ls.word != 0) continue;
+          if (!ls.valid || ls.done || ls.ref_fetched || !lane_block_in_band(ls)) continue;
+          ls.ref_fetched = true;
           int rword = ls.strip * kBlockDim / bpw;
           int prev_last = ls.strip == 0 ? -1 : (ls.strip * kBlockDim - 1) / bpw;
           if (rword != prev_last) {
@@ -214,7 +236,7 @@ KernelResult run_inter_query(gpusim::Device& device, const seq::PairBatch& batch
           bool any = false;
           for (int l = 0; l < warp_size; ++l) {
             LaneState& ls = lanes[static_cast<std::size_t>(l)];
-            if (!ls.valid || ls.done || ls.strip == 0) continue;
+            if (!ls.valid || ls.done || ls.strip == 0 || !lane_block_in_band(ls)) continue;
             std::uint64_t col = static_cast<std::uint64_t>(ls.word) * kBlockDim;
             std::uint64_t addr = layout.row_buf_base + layout.row_buf_offset[ls.pair] +
                                  col * static_cast<std::uint64_t>(params.interm_cell_bytes) +
@@ -241,6 +263,49 @@ KernelResult run_inter_query(gpusim::Device& device, const seq::PairBatch& batch
           const int rh = static_cast<int>(std::min<std::size_t>(kBlockDim, ref.size() - i0));
           const int qw = static_cast<int>(std::min<std::size_t>(kBlockDim, query.size() - j0));
 
+          auto advance = [&](LaneState& lane) {
+            if (++lane.word == lane.q_words) {
+              lane.word = 0;
+              for (int k = 0; k < kBlockDim; ++k) {
+                lane.left_h[k] = 0;
+                lane.left_e[k] = kBoundaryNegInf;
+              }
+              lane.diag = 0;
+              lane.ref_fetched = false;
+              if (++lane.strip == lane.n_strips) {
+                lane.done = true;
+                results[lane.pair] = lane.best;
+              }
+            }
+          };
+
+          // Capture the diagonal for the next block before overwriting.
+          if (ls.strip == 0) {
+            ls.next_diag = 0;
+          } else if (j0 + kBlockDim - 1 < query.size()) {
+            ls.next_diag = ls.row_h[j0 + kBlockDim - 1];
+          }
+
+          if (!block_intersects_band(i0, j0, rh, qw, ls.band)) {
+            // Skipped block: publish the out-of-band neutral boundaries so
+            // in-band neighbours read exactly what the banded reference
+            // would, then advance without charging compute or traffic.
+            for (int k = 0; k < qw; ++k) {
+              ls.row_h[j0 + static_cast<std::size_t>(k)] = 0;
+              ls.row_f[j0 + static_cast<std::size_t>(k)] = kBoundaryNegInf;
+            }
+            for (int k = 0; k < kBlockDim; ++k) {
+              ls.left_h[k] = 0;
+              ls.left_e[k] = kBoundaryNegInf;
+            }
+            ls.diag = ls.next_diag;
+            ls.was_in_band = false;
+            warp.add_skipped_cells(static_cast<std::uint64_t>(rh) *
+                                   static_cast<std::uint64_t>(qw));
+            advance(ls);
+            continue;
+          }
+
           BlockBoundary bound;
           for (int k = 0; k < qw; ++k) {
             if (ls.strip == 0) {
@@ -257,15 +322,10 @@ KernelResult run_inter_query(gpusim::Device& device, const seq::PairBatch& batch
           }
           bound.diag_h = ls.diag;
 
-          // Capture the diagonal for the next block before overwriting.
-          if (ls.strip == 0) {
-            ls.next_diag = 0;
-          } else if (j0 + kBlockDim - 1 < query.size()) {
-            ls.next_diag = ls.row_h[j0 + kBlockDim - 1];
-          }
-
           BlockOutput out;
-          block_dp(ref.data() + i0, query.data() + j0, rh, qw, i0, j0, bound, scoring, out);
+          const std::uint64_t computed = block_dp_banded(
+              ref.data() + i0, query.data() + j0, rh, qw, i0, j0, ls.band, bound, scoring,
+              out);
           align::take_better(ls.best, out.best);
 
           for (int k = 0; k < qw; ++k) {
@@ -277,24 +337,16 @@ KernelResult run_inter_query(gpusim::Device& device, const seq::PairBatch& batch
             ls.left_e[k] = out.right_e[k];
           }
           ls.diag = ls.next_diag;
-          cells_max = std::max(cells_max, static_cast<std::uint64_t>(rh * qw));
-          warp.add_cells(static_cast<std::uint64_t>(rh) * static_cast<std::uint64_t>(qw));
+          ls.was_in_band = true;
+          cells_max = std::max(cells_max, computed);
+          warp.add_cells(computed);
+          warp.add_skipped_cells(static_cast<std::uint64_t>(rh) *
+                                     static_cast<std::uint64_t>(qw) -
+                                 computed);
           processed_word[static_cast<std::size_t>(l)] = ls.word;
           processed_pair[static_cast<std::size_t>(l)] = ls.pair;
 
-          // Advance.
-          if (++ls.word == ls.q_words) {
-            ls.word = 0;
-            for (int k = 0; k < kBlockDim; ++k) {
-              ls.left_h[k] = 0;
-              ls.left_e[k] = kBoundaryNegInf;
-            }
-            ls.diag = 0;
-            if (++ls.strip == ls.n_strips) {
-              ls.done = true;
-              results[ls.pair] = ls.best;
-            }
-          }
+          advance(ls);
         }
         warp.issue(cells_max * params.instr_per_cell, active);
 

@@ -32,6 +32,7 @@ struct SubwarpState {
 
   // Current pair.
   std::size_t pair = 0;
+  std::size_t band = 0;  // effective band of this pair (0 = full table)
   int q_words = 0;
   int n_strips = 0;
   int n_chunks = 0;
@@ -163,18 +164,6 @@ KernelResult SalobaKernel::run(gpusim::Device& device, const seq::PairBatch& bat
 
       std::array<MemAccess, 32> mem_acc;
       std::array<SharedAccess, 32> shm_acc;
-      const std::size_t band = config_.band;
-      // Block-granular banding: a block is skipped when it lies fully
-      // outside |i - j| <= band.
-      auto block_in_band = [band](std::size_t i0, std::size_t j0, int rh, int qw) {
-        if (band == 0) return true;
-        std::int64_t lo = static_cast<std::int64_t>(j0) -
-                          (static_cast<std::int64_t>(i0) + rh - 1);
-        std::int64_t hi = (static_cast<std::int64_t>(j0) + qw - 1) -
-                          static_cast<std::int64_t>(i0);
-        return lo <= static_cast<std::int64_t>(band) &&
-               hi >= -static_cast<std::int64_t>(band);
-      };
 
       // --- helpers -------------------------------------------------------
       auto start_next_pair = [&](SubwarpState& sw) {
@@ -187,6 +176,10 @@ KernelResult SalobaKernel::run(gpusim::Device& device, const seq::PairBatch& bat
           }
           sw.pair = p;
           sw.pair_active = true;
+          // Per-pair band channel wins; the kernel-wide config band is the
+          // fallback. Block-granular skipping + in-block cell masking keep
+          // results bit-identical to smith_waterman_banded at this band.
+          sw.band = batch.band_of(p) != 0 ? batch.band_of(p) : config_.band;
           sw.q_words = static_cast<int>((batch.queries[p].size() + 7) / 8);
           sw.n_strips = static_cast<int>((batch.refs[p].size() + 7) / 8);
           sw.n_chunks = (sw.n_strips + S - 1) / S;
@@ -249,11 +242,20 @@ KernelResult SalobaKernel::run(gpusim::Device& device, const seq::PairBatch& bat
           }
 
           // Boundary reads for lane 0 (only when a previous chunk exists).
+          // A banded kernel knows out-of-band boundaries are the neutral
+          // H = 0 / F = -inf without touching memory, so bursts whose column
+          // window lies fully outside lane 0's band are never issued.
+          const std::size_t lane0_i0 =
+              static_cast<std::size_t>(sw.chunk) * static_cast<std::size_t>(S) * kBlockDim;
           if (sw.chunk > 0) {
             if (config_.lazy_spill) {
               // Coalesced burst every S steps: S columns ahead of lane 0.
               const int burst = (config_.full_warp_spill && S < kWarpSize) ? kWarpSize : S;
-              if (sw.t % burst == 0 && sw.t < sw.q_words) {
+              if (sw.t % burst == 0 && sw.t < sw.q_words &&
+                  block_intersects_band(lane0_i0,
+                                        static_cast<std::size_t>(sw.t) * kBlockDim, kBlockDim,
+                                        std::min(burst, sw.q_words - sw.t) * kBlockDim,
+                                        sw.band)) {
                 // Transposed burst: instruction k assigns consecutive lanes
                 // to consecutive 4 B words, so each instruction is a fully
                 // coalesced read of the region [t·32 B, (t+cols)·32 B).
@@ -274,7 +276,10 @@ KernelResult SalobaKernel::run(gpusim::Device& device, const seq::PairBatch& bat
                   warp.global_read(bacc);
                 }
               }
-            } else if (sw.t < sw.q_words) {
+            } else if (sw.t < sw.q_words &&
+                       block_intersects_band(lane0_i0,
+                                             static_cast<std::size_t>(sw.t) * kBlockDim,
+                                             kBlockDim, kBlockDim, sw.band)) {
               // Naive: lane 0 reads its block's 8 boundary cells, alone.
               for (int k = 0; k < kBlockDim; ++k) {
                 std::array<MemAccess, 32> bacc;
@@ -293,11 +298,11 @@ KernelResult SalobaKernel::run(gpusim::Device& device, const seq::PairBatch& bat
           for (int l = 0; l < sw.chunk_lanes; ++l) {
             int word = sw.t - l;
             if (word < 0 || word >= sw.q_words) continue;
-            if (band > 0) {
+            if (sw.band > 0) {
               const std::size_t i0 = (static_cast<std::size_t>(sw.chunk) * S +
                                       static_cast<std::size_t>(l)) * kBlockDim;
               const std::size_t j0 = static_cast<std::size_t>(word) * kBlockDim;
-              if (!block_in_band(i0, j0, kBlockDim, kBlockDim)) continue;
+              if (!block_intersects_band(i0, j0, kBlockDim, kBlockDim, sw.band)) continue;
             }
             mem_acc[static_cast<std::size_t>(g * S + l)] = MemAccess{
                 addr.query_base + (addr.q_off[sw.pair] + static_cast<std::uint64_t>(word)) * 4,
@@ -305,11 +310,14 @@ KernelResult SalobaKernel::run(gpusim::Device& device, const seq::PairBatch& bat
             ++active_total;
           }
         }
-        warp.global_read(mem_acc);
+        // A step where every lane's block is out of band issues nothing:
+        // the banded kernel advances its counters and moves on, which is
+        // where the simulated time win over the full table comes from.
+        if (active_total > 0) warp.global_read(mem_acc);
 
         // Shared-memory handoff: 8 reads + 8 writes of 4 B per active lane,
         // lane-column layout → bank = global lane id → conflict-free.
-        for (int k = 0; k < kBlockDim; ++k) {
+        for (int k = 0; active_total > 0 && k < kBlockDim; ++k) {
           for (int rw = 0; rw < 2; ++rw) {
             shm_acc.fill(SharedAccess{});
             for (int g = 0; g < G; ++g) {
@@ -318,6 +326,14 @@ KernelResult SalobaKernel::run(gpusim::Device& device, const seq::PairBatch& bat
               for (int l = 0; l < sw.chunk_lanes; ++l) {
                 int word = sw.t - l;
                 if (word < 0 || word >= sw.q_words) continue;
+                if (sw.band > 0 &&
+                    !block_intersects_band(
+                        (static_cast<std::size_t>(sw.chunk) * S + static_cast<std::size_t>(l)) *
+                            kBlockDim,
+                        static_cast<std::size_t>(word) * kBlockDim, kBlockDim, kBlockDim,
+                        sw.band)) {
+                  continue;  // masked-off lanes skip the handoff machinery
+                }
                 int lane_global = g * S + l;
                 // reads come from the neighbour's column (lane-1), writes
                 // go to the lane's own column; both stay conflict-free.
@@ -334,7 +350,7 @@ KernelResult SalobaKernel::run(gpusim::Device& device, const seq::PairBatch& bat
         }
 
         // The block DP issue slots for this step.
-        warp.issue(64 * kInstrPerCellIntra, active_total);
+        if (active_total > 0) warp.issue(64 * kInstrPerCellIntra, active_total);
 
         // ---- Functional pass: lanes descending so handoff reads see the
         // previous step's values.
@@ -354,17 +370,28 @@ KernelResult SalobaKernel::run(gpusim::Device& device, const seq::PairBatch& bat
             const int qw =
                 static_cast<int>(std::min<std::size_t>(kBlockDim, query.size() - j0));
 
-            if (!block_in_band(i0, j0, rh, qw)) {
-              // Out-of-band block: publish neutral boundaries so the
-              // in-band frontier sees H = 0 / E,F = -inf, and reset the
-              // lane's left carry for band re-entry.
+            if (!block_intersects_band(i0, j0, rh, qw, sw.band)) {
+              // Out-of-band block: every cell would mask to the neutral
+              // boundary values, so publish them directly — the in-band
+              // frontier sees H = 0 / E,F = -inf, and the lane's left carry
+              // is reset for band re-entry.
               for (int k = 0; k < kBlockDim; ++k) {
                 sw.hand_h[static_cast<std::size_t>(l)][k] = 0;
                 sw.hand_f[static_cast<std::size_t>(l)][k] = kBoundaryNegInf;
                 sw.left_h[static_cast<std::size_t>(l)][k] = 0;
                 sw.left_e[static_cast<std::size_t>(l)][k] = kBoundaryNegInf;
               }
-              sw.corner[static_cast<std::size_t>(l)] = 0;
+              // The corner carry must still track the *published* top row:
+              // H(i0-1, j0+qw-1) can be in band even when this block is not
+              // (the band edge passes just above), and the next block's
+              // diagonal reads it.
+              if (l == 0) {
+                sw.corner[static_cast<std::size_t>(l)] =
+                    sw.chunk == 0 ? 0 : sw.bound_h[j0 + static_cast<std::size_t>(qw - 1)];
+              } else {
+                sw.corner[static_cast<std::size_t>(l)] =
+                    sw.hand_h[static_cast<std::size_t>(l - 1)][qw - 1];
+              }
               if (l == sw.chunk_lanes - 1 && sw.chunk + 1 < sw.n_chunks) {
                 for (int k = 0; k < qw; ++k) {
                   sw.bound_h[j0 + static_cast<std::size_t>(k)] = 0;
@@ -376,6 +403,8 @@ KernelResult SalobaKernel::run(gpusim::Device& device, const seq::PairBatch& bat
                 sw.left_e[static_cast<std::size_t>(l)].fill(kBoundaryNegInf);
                 sw.corner[static_cast<std::size_t>(l)] = 0;
               }
+              warp.add_skipped_cells(static_cast<std::uint64_t>(rh) *
+                                     static_cast<std::uint64_t>(qw));
               continue;
             }
 
@@ -408,9 +437,14 @@ KernelResult SalobaKernel::run(gpusim::Device& device, const seq::PairBatch& bat
             sw.corner[static_cast<std::size_t>(l)] = bound.top_h[std::max(0, qw - 1)];
 
             BlockOutput out;
-            block_dp(ref.data() + i0, query.data() + j0, rh, qw, i0, j0, bound, scoring, out);
+            const std::uint64_t computed = block_dp_banded(
+                ref.data() + i0, query.data() + j0, rh, qw, i0, j0, sw.band, bound, scoring,
+                out);
             align::take_better(sw.best, out.best);
-            warp.add_cells(static_cast<std::uint64_t>(rh) * static_cast<std::uint64_t>(qw));
+            warp.add_cells(computed);
+            warp.add_skipped_cells(static_cast<std::uint64_t>(rh) *
+                                       static_cast<std::uint64_t>(qw) -
+                                   computed);
 
             for (int k = 0; k < rh; ++k) {
               sw.left_h[static_cast<std::size_t>(l)][k] = out.right_h[k];

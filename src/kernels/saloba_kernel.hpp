@@ -26,9 +26,13 @@ struct SalobaConfig {
   /// recovering full 128-byte coalescing at the cost of extra shared
   /// memory. No effect when subwarp_size == 32 or lazy_spill is off.
   bool full_warp_spill = false;
-  /// Banded extension (Sec. VII-B, future work): when > 0, 8x8 blocks fully
-  /// outside |i - j| <= band are skipped; boundaries feeding skipped blocks
-  /// read as out-of-band (H = 0, E/F = -inf). 0 = full table.
+  /// Banded extension (Sec. VII-B): when > 0, 8x8 blocks fully outside
+  /// |i - j| <= band are skipped and in-band blocks mask their out-of-band
+  /// cells, so results are bit-identical to align::smith_waterman_banded at
+  /// the same band. Boundaries feeding skipped blocks read as out-of-band
+  /// (H = 0, E/F = -inf). 0 = full table. A per-pair band on the batch
+  /// (seq::PairBatch::band_of) overrides this kernel-wide default; skipped
+  /// work is reported in KernelStats dp_cells_skipped.
   std::size_t band = 0;
   int warps_per_block = 4;
   /// Display name override; empty derives one from the parameters.

@@ -77,11 +77,47 @@ class SwSharpKernel final : public ExtensionKernel {
       };
       AlignmentResult best;
 
+      // Banded extension (Sec. VII-B): a banded SW# launches only the tiles
+      // of each wave that intersect |i - j| <= band — out-of-band tiles'
+      // bus rows/columns are the known neutral values (H = 0, E/F = -inf)
+      // and are published host-side without a launch. band 0 = full table.
+      const std::size_t pair_band = batch.band_of(p);
+
       const std::size_t waves = tile_rows + tile_cols - 1;
+      std::vector<std::size_t> live;  // in-band tiles of a wave (ti values)
+      live.reserve(tile_rows);
       for (std::size_t wave = 0; wave < waves; ++wave) {
         std::size_t ti_lo = (wave >= tile_cols) ? wave - tile_cols + 1 : 0;
         std::size_t ti_hi = std::min(tile_rows - 1, wave);
-        std::uint32_t blocks = static_cast<std::uint32_t>(ti_hi - ti_lo + 1);
+
+        live.clear();
+        for (std::size_t ti = ti_lo; ti <= ti_hi; ++ti) {
+          const std::size_t tj = wave - ti;
+          const std::size_t i_base = ti * kTile;
+          const std::size_t j_base = tj * kTile;
+          const std::size_t rows = std::min(kTile, n - i_base);
+          const std::size_t cols = std::min(kTile, m - j_base);
+          if (block_intersects_band(i_base, j_base, static_cast<int>(rows),
+                                    static_cast<int>(cols), pair_band)) {
+            live.push_back(ti);
+            continue;
+          }
+          // Fully out-of-band tile: publish the neutral buses it would have
+          // produced (its every cell masks to H = 0 / E,F = -inf).
+          for (std::size_t r = 0; r < rows; ++r) {
+            vbus_h[i_base + r] = 0;
+            vbus_e[i_base + r] = kBoundaryNegInf;
+          }
+          for (std::size_t c = 0; c < cols; ++c) {
+            hbus_h[j_base + c] = 0;
+            hbus_f[j_base + c] = kBoundaryNegInf;
+          }
+          corner_at(ti + 1, tj + 1) = 0;
+          acc.stats.totals.dp_cells_skipped += rows * cols;
+        }
+        if (live.empty()) continue;  // whole wave out of band: nothing to launch
+
+        std::uint32_t blocks = static_cast<std::uint32_t>(live.size());
         std::vector<AlignmentResult> wave_best(blocks);
 
         gpusim::LaunchConfig config;
@@ -91,7 +127,7 @@ class SwSharpKernel final : public ExtensionKernel {
         config.shared_bytes_per_block = kThreadsPerTile * 3 * 8;
 
         auto launch = device.launch(config, [&](gpusim::BlockContext& blk) {
-          const std::size_t ti = ti_lo + blk.block_id();
+          const std::size_t ti = live[blk.block_id()];
           const std::size_t tj = wave - ti;
           const std::size_t i_base = ti * kTile;
           const std::size_t j_base = tj * kTile;
@@ -122,6 +158,8 @@ class SwSharpKernel final : public ExtensionKernel {
           Score diag_carry =
               (i_base == 0 || j_base == 0) ? 0 : corner_at(ti, tj);
 
+          std::uint64_t computed = 0;
+          const auto bb = static_cast<std::int64_t>(pair_band);
           for (std::size_t r = 0; r < rows; ++r) {
             const std::size_t i = i_base + r;
             Score h_left = (j_base == 0) ? 0 : vbus_h[i];
@@ -131,22 +169,35 @@ class SwSharpKernel final : public ExtensionKernel {
 
             for (std::size_t c = 0; c < cols; ++c) {
               const std::size_t j = j_base + c;
-              e = std::max(h_left - alpha, e - beta);
-              Score f = std::max(h_row[c] - alpha, f_col[c] - beta);
-              Score h =
-                  std::max({Score{0}, h_diag + scoring.substitution(ref[i], query[j]), e, f});
+              Score h, f;
+              if (pair_band > 0 &&
+                  (static_cast<std::int64_t>(j) - static_cast<std::int64_t>(i) > bb ||
+                   static_cast<std::int64_t>(i) - static_cast<std::int64_t>(j) > bb)) {
+                // Masked cell: publish the out-of-band boundary values.
+                h = 0;
+                e = kBoundaryNegInf;
+                f = kBoundaryNegInf;
+              } else {
+                e = std::max(h_left - alpha, e - beta);
+                f = std::max(h_row[c] - alpha, f_col[c] - beta);
+                h = std::max({Score{0}, h_diag + scoring.substitution(ref[i], query[j]), e,
+                              f});
+                ++computed;
+                align::take_better(tile_best,
+                                   AlignmentResult{h, static_cast<std::int32_t>(i),
+                                                   static_cast<std::int32_t>(j)});
+              }
               h_diag = h_row[c];
               h_row[c] = h;
               f_col[c] = f;
               h_left = h;
-              align::take_better(tile_best,
-                                 AlignmentResult{h, static_cast<std::int32_t>(i),
-                                                 static_cast<std::int32_t>(j)});
             }
             vbus_h[i] = h_left;  // rightmost column feeds the vertical bus
             vbus_e[i] = e;
           }
-          blk.warp(0).add_cells(rows * cols);
+          blk.warp(0).add_cells(computed);
+          blk.warp(0).add_skipped_cells(
+              static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols) - computed);
 
           // Preserve the corner for the diagonal neighbour before the buses
           // are overwritten by tiles of later waves.

@@ -31,6 +31,7 @@ std::vector<ExtensionJob> make_extension_jobs(std::span<const seq::BaseCode> gen
       ExtensionJob job;
       job.read_id = read_id;
       job.left = true;
+      job.band = params.banded ? std::max<std::size_t>(1, band_for(qlen, params)) : 0;
       job.ref_origin = anchor.rpos - static_cast<std::uint32_t>(window);
       job.query.assign(read.rend() - anchor.qpos, read.rend());  // reversed prefix
       job.ref.assign(genome.rbegin() + static_cast<std::ptrdiff_t>(genome.size() - anchor.rpos),
@@ -50,6 +51,7 @@ std::vector<ExtensionJob> make_extension_jobs(std::span<const seq::BaseCode> gen
     ExtensionJob job;
     job.read_id = read_id;
     job.left = false;
+    job.band = params.banded ? std::max<std::size_t>(1, band_for(qlen, params)) : 0;
     job.ref_origin = static_cast<std::uint32_t>(r_end);
     job.query.assign(read.begin() + static_cast<std::ptrdiff_t>(q_end), read.end());
     job.ref.assign(genome.begin() + static_cast<std::ptrdiff_t>(r_end),
@@ -64,8 +66,7 @@ seq::PairBatch jobs_to_batch(std::span<const ExtensionJob> jobs) {
   batch.queries.reserve(jobs.size());
   batch.refs.reserve(jobs.size());
   for (const auto& j : jobs) {
-    batch.queries.push_back(j.query);
-    batch.refs.push_back(j.ref);
+    batch.add(j.query, j.ref, j.band);
   }
   return batch;
 }

@@ -27,6 +27,12 @@ struct ExtensionJob {
   /// Genome coordinate the job's reference window starts at (after
   /// orientation); lets the mapper reconstruct positions.
   std::uint32_t ref_origin = 0;
+  /// DP band for this job (Sec. VII-B): only cells with |i - j| <= band are
+  /// computed, with out-of-band cells reading H = 0, E/F = -inf. Matches the
+  /// gap budget that sized the reference window, so the whole corridor the
+  /// extension can plausibly use stays in band. 0 = full table
+  /// (JobParams::banded == false).
+  std::size_t band = 0;
 };
 
 struct JobParams {
@@ -35,6 +41,11 @@ struct JobParams {
   double band_frac = 1.0;
   /// Jobs shorter than this on the query side are dropped (nothing to do).
   std::size_t min_query = 1;
+  /// When true (default), every job carries the same max(min_band,
+  /// query·band_frac) budget as its DP band (ExtensionJob::band), so
+  /// downstream extension — CPU align_batch or any simulated kernel — prunes
+  /// blocks outside |i - j| <= band. false restores full-table extension.
+  bool banded = true;
 };
 
 /// Jobs for one chain: left + right extension of the anchor (first) seed.

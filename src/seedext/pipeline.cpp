@@ -4,6 +4,7 @@
 #include <exception>
 #include <thread>
 
+#include "align/sw_banded.hpp"
 #include "align/sw_reference.hpp"
 #include "seedext/sam_output.hpp"
 #include "seq/chunk_reader.hpp"
@@ -100,7 +101,17 @@ ReadMapping ReadMapper::map(std::span<const seq::BaseCode> read) const {
   PreparedRead pre = prepare(read);
   std::vector<align::AlignmentResult> results(pre.jobs.size());
   for (std::size_t j = 0; j < pre.jobs.size(); ++j) {
-    results[j] = align::smith_waterman(pre.jobs[j].ref, pre.jobs[j].query, params_.scoring);
+    // Honor the job's own band so the per-job CPU path stays bit-identical
+    // to the batched path (jobs_to_batch threads the same band to the
+    // extender's backend, CPU or simulated kernel).
+    const ExtensionJob& job = pre.jobs[j];
+    if (job.band == 0) {
+      results[j] = align::smith_waterman(job.ref, job.query, params_.scoring);
+    } else {
+      results[j] = align::smith_waterman_banded(job.ref, job.query, params_.scoring,
+                                                align::BandedParams{job.band, 0})
+                       .result;
+    }
   }
   return finalize(pre, results);
 }

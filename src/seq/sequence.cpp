@@ -4,9 +4,40 @@
 
 namespace saloba::seq {
 
+std::size_t banded_cells(std::size_t ref_len, std::size_t query_len, std::size_t band) {
+  if (ref_len == 0 || query_len == 0) return 0;
+  if (band == 0) return ref_len * query_len;  // 0 = unbanded by convention
+  // Full table minus the two corner triangles outside |i - j| <= band, each
+  // a T(k) = k(k+1)/2 staircase clipped by the opposite table edge.
+  auto tri = [](std::int64_t k) -> std::int64_t { return k <= 0 ? 0 : k * (k + 1) / 2; };
+  const auto n = static_cast<std::int64_t>(ref_len);
+  const auto m = static_cast<std::int64_t>(query_len);
+  const auto b = static_cast<std::int64_t>(std::min<std::size_t>(
+      band, static_cast<std::size_t>(std::max(n, m))));
+  const std::int64_t above = tri(m - 1 - b) - tri(m - 1 - b - n);  // j - i > band
+  const std::int64_t below = tri(n - 1 - b) - tri(n - 1 - b - m);  // i - j > band
+  return static_cast<std::size_t>(n * m - above - below);
+}
+
 void PairBatch::add(std::vector<BaseCode> q, std::vector<BaseCode> r) {
+  add(std::move(q), std::move(r), 0);
+}
+
+void PairBatch::add(std::vector<BaseCode> q, std::vector<BaseCode> r, std::size_t band) {
+  if (band != 0 && bands.size() != queries.size()) {
+    bands.resize(queries.size(), 0);  // backfill pairs added without a band
+  }
   queries.push_back(std::move(q));
   refs.push_back(std::move(r));
+  if (!bands.empty() || band != 0) bands.push_back(band);
+}
+
+bool PairBatch::banded() const {
+  if (default_band != 0) return true;
+  for (std::size_t b : bands) {
+    if (b != 0) return true;
+  }
+  return false;
 }
 
 std::size_t PairBatch::max_query_len() const {
@@ -24,6 +55,16 @@ std::size_t PairBatch::max_ref_len() const {
 std::size_t PairBatch::total_cells() const {
   std::size_t cells = 0;
   for (std::size_t i = 0; i < queries.size(); ++i) cells += queries[i].size() * refs[i].size();
+  return cells;
+}
+
+std::size_t PairBatch::cells_of(std::size_t i) const {
+  return banded_cells(refs[i].size(), queries[i].size(), band_of(i));
+}
+
+std::size_t PairBatch::total_banded_cells() const {
+  std::size_t cells = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) cells += cells_of(i);
   return cells;
 }
 

@@ -1,0 +1,349 @@
+// Banded-extension conformance (Sec. VII-B), batch level: the per-pair band
+// channel must mean exactly the same thing everywhere it is consumed — the
+// CPU batch path, the Aligner facade (CPU and simulated backends), the
+// sharding scheduler, and the streaming pipeline all reduce to
+// align::smith_waterman_banded at the pair's effective band, and a band
+// covering the whole table reproduces full Smith-Waterman bit for bit.
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "align/batch.hpp"
+#include "align/sw_banded.hpp"
+#include "align/sw_reference.hpp"
+#include "core/aligner.hpp"
+#include "seedext/pipeline.hpp"
+#include "seq/alphabet.hpp"
+#include "seq/random_genome.hpp"
+#include "seq/read_simulator.hpp"
+
+namespace saloba::align {
+namespace {
+
+using core::AlignerOptions;
+
+/// Random related batch with a randomized per-pair band channel: a mix of
+/// narrow, wide, table-covering and (when `allow_unbanded`) full-table
+/// pairs, the shapes the pipeline actually produces.
+seq::PairBatch random_banded_batch(std::uint64_t seed, std::size_t pairs,
+                                   std::size_t max_len, bool allow_unbanded = true) {
+  util::Xoshiro256 rng(seed);
+  seq::PairBatch batch;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    std::size_t rlen = 1 + rng.below(max_len);
+    std::size_t qlen = 1 + rng.below(max_len);
+    auto ref = saloba::testing::random_seq(rng, rlen);
+    std::vector<seq::BaseCode> query;
+    if (qlen <= rlen && rng.bernoulli(0.7)) {
+      query.assign(ref.begin(), ref.begin() + static_cast<std::ptrdiff_t>(qlen));
+      query = saloba::testing::mutate(rng, query, 0.1);
+    } else {
+      query = saloba::testing::random_seq(rng, qlen);
+    }
+    std::size_t band;
+    switch (rng.below(allow_unbanded ? 4 : 3)) {
+      case 0: band = 1 + rng.below(8); break;                       // narrow
+      case 1: band = 8 + rng.below(40); break;                      // moderate
+      case 2: band = std::max(rlen, qlen) + rng.below(10); break;   // covering
+      default: band = 0; break;                                     // full table
+    }
+    batch.add(std::move(query), std::move(ref), band);
+  }
+  return batch;
+}
+
+std::vector<AlignmentResult> banded_reference(const seq::PairBatch& batch,
+                                              const ScoringScheme& s) {
+  std::vector<AlignmentResult> out(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    out[i] = smith_waterman_banded(batch.refs[i], batch.queries[i], s,
+                                   BandedParams{batch.band_of(i), 0})
+                 .result;
+  }
+  return out;
+}
+
+TEST(BandedConformance, AlignBatchMatchesPerPairBandedReference) {
+  ScoringScheme s;
+  for (std::uint64_t seed : {501u, 502u, 503u}) {
+    auto batch = random_banded_batch(seed, 40, 160);
+    auto got = align_batch(batch, s);
+    auto expected = banded_reference(batch, s);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]) << "seed " << seed << " pair " << i << " band "
+                                     << batch.band_of(i);
+    }
+  }
+}
+
+TEST(BandedConformance, CoveringBandIsBitIdenticalToFullTable) {
+  ScoringScheme s;
+  auto batch = random_banded_batch(504, 30, 120, /*allow_unbanded=*/false);
+  // Force every band to cover the table.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch.bands[i] = std::max(batch.refs[i].size(), batch.queries[i].size());
+  }
+  auto got = align_batch(batch, s);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(got[i], smith_waterman(batch.refs[i], batch.queries[i], s)) << "pair " << i;
+  }
+}
+
+TEST(BandedConformance, CpuAlignerHonorsBandPolicy) {
+  AlignerOptions opts;
+  opts.band = 16;
+  core::Aligner aligner(opts);
+  auto batch = saloba::testing::imbalanced_batch(505, 30, 5, 150);
+  auto out = aligner.align(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto expected =
+        smith_waterman_banded(batch.refs[i], batch.queries[i], opts.scoring, 16).result;
+    EXPECT_EQ(out.results[i], expected) << "pair " << i;
+  }
+  // The reported workload is the in-band cell count, not the full area.
+  seq::PairBatch banded = batch;
+  core::materialize_bands(banded, opts.band_policy());
+  EXPECT_EQ(out.cells, banded.total_banded_cells());
+  EXPECT_LT(out.cells, batch.total_cells());
+}
+
+TEST(BandedConformance, BandFracScalesWithQueryLength) {
+  AlignerOptions opts;
+  opts.band = 4;
+  opts.band_frac = 0.25;
+  core::Aligner aligner(opts);
+  auto batch = saloba::testing::related_batch(506, 12, 100, 140);
+  auto out = aligner.align(batch);
+  // band_for(100) = max(4, ceil(0.25 * 100)) = 25.
+  EXPECT_EQ(opts.band_policy().band_for(100), 25u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto expected =
+        smith_waterman_banded(batch.refs[i], batch.queries[i], opts.scoring, 25).result;
+    EXPECT_EQ(out.results[i], expected) << "pair " << i;
+  }
+}
+
+TEST(BandedConformance, PerPairBandsWinOverAlignerPolicy) {
+  AlignerOptions opts;
+  opts.band = 1;  // would clamp hard if it applied
+  core::Aligner aligner(opts);
+  auto batch = random_banded_batch(507, 25, 130, /*allow_unbanded=*/false);
+  auto out = aligner.align(batch);
+  auto expected = banded_reference(batch, opts.scoring);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(out.results[i], expected[i]) << "pair " << i;
+  }
+}
+
+TEST(BandedConformance, SimulatedShardedAlignerMatchesBandedReference) {
+  // Simulated backend, multiple devices, small shards: bands must survive
+  // sorting, snake-dealing and shard re-batching (gpusim::make_shards).
+  AlignerOptions opts;
+  opts.backend = core::Backend::kSimulated;
+  opts.kernel = "saloba";
+  opts.devices = 3;
+  opts.max_shard_pairs = 7;
+  opts.band = 12;
+  core::Aligner aligner(opts);
+  auto batch = saloba::testing::imbalanced_batch(508, 40, 4, 180);
+  auto out = aligner.align(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto expected =
+        smith_waterman_banded(batch.refs[i], batch.queries[i], opts.scoring, 12).result;
+    EXPECT_EQ(out.results[i], expected) << "pair " << i;
+  }
+  ASSERT_TRUE(out.kernel_stats.has_value());
+  seq::PairBatch banded = batch;
+  core::materialize_bands(banded, opts.band_policy());
+  EXPECT_EQ(out.kernel_stats->totals.dp_cells, banded.total_banded_cells());
+  EXPECT_EQ(out.kernel_stats->totals.dp_cells + out.kernel_stats->totals.dp_cells_skipped,
+            batch.total_cells());
+}
+
+TEST(BandedConformance, ZdropBatchMatchesPerPairZdropReference) {
+  ScoringScheme s;
+  auto batch = random_banded_batch(509, 30, 150);
+  const Score zdrop = 20;
+  auto got = align_batch(batch, s, nullptr, 0, zdrop);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto expected = smith_waterman_banded(batch.refs[i], batch.queries[i], s,
+                                          BandedParams{batch.band_of(i), zdrop})
+                        .result;
+    EXPECT_EQ(got[i], expected) << "pair " << i;
+  }
+}
+
+TEST(BandedConformance, CpuAlignerZdropOptionFlowsToBackend) {
+  AlignerOptions opts;
+  opts.zdrop = 15;
+  core::Aligner aligner(opts);
+  auto batch = saloba::testing::related_batch(510, 20, 90, 160);
+  auto out = aligner.align(batch);
+  std::size_t executed = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto expected = smith_waterman_banded(batch.refs[i], batch.queries[i], opts.scoring,
+                                          BandedParams{0, 15});
+    EXPECT_EQ(out.results[i], expected.result) << "pair " << i;
+    executed += expected.cells_computed;
+  }
+  // Reported cells (and so gcups) count only what zdrop actually ran.
+  EXPECT_EQ(out.cells, executed);
+  EXPECT_LE(out.cells, batch.total_cells());
+}
+
+// --- banded_cells / band_for unit behaviour -------------------------------
+
+TEST(BandedCells, MatchesCellsActuallyComputed) {
+  ScoringScheme s;
+  util::Xoshiro256 rng(511);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::size_t n = 1 + rng.below(90);
+    std::size_t m = 1 + rng.below(90);
+    std::size_t band = 1 + rng.below(100);
+    auto ref = saloba::testing::random_seq(rng, n);
+    auto query = saloba::testing::random_seq(rng, m);
+    auto banded = smith_waterman_banded(ref, query, s, band);
+    EXPECT_EQ(seq::banded_cells(n, m, band), banded.cells_computed)
+        << "n=" << n << " m=" << m << " band=" << band;
+  }
+}
+
+TEST(BandedCells, ZeroBandMeansFullTable) {
+  EXPECT_EQ(seq::banded_cells(17, 23, 0), 17u * 23u);
+  EXPECT_EQ(seq::banded_cells(0, 23, 5), 0u);
+  EXPECT_EQ(seq::banded_cells(17, 0, 5), 0u);
+}
+
+TEST(BandPolicy, BandForSemantics) {
+  core::BandPolicy none;
+  EXPECT_FALSE(none.banded());
+  EXPECT_EQ(none.band_for(500), 0u);
+
+  core::BandPolicy fixed{8, 0.0};
+  EXPECT_EQ(fixed.band_for(0), 8u);
+  EXPECT_EQ(fixed.band_for(1000), 8u);
+
+  core::BandPolicy frac{0, 0.25};
+  EXPECT_TRUE(frac.banded());
+  EXPECT_EQ(frac.band_for(100), 25u);
+  // A banded policy never produces band 0 (0 would read as "full table").
+  EXPECT_EQ(frac.band_for(0), 1u);
+  EXPECT_EQ(frac.band_for(3), 1u);  // ceil(0.75) = 1
+
+  core::BandPolicy both{16, 0.25};
+  EXPECT_EQ(both.band_for(50), 16u);   // floor wins: ceil(12.5) = 13 < 16
+  EXPECT_EQ(both.band_for(200), 50u);  // frac wins for long ones
+}
+
+TEST(BandPolicy, MaterializeRespectsExistingChannel) {
+  core::BandPolicy policy{10, 0.0};
+  seq::PairBatch fresh = saloba::testing::related_batch(512, 5, 30, 40);
+  core::materialize_bands(fresh, policy);
+  ASSERT_EQ(fresh.bands.size(), 5u);
+  for (std::size_t b : fresh.bands) EXPECT_EQ(b, 10u);
+
+  seq::PairBatch owned = saloba::testing::related_batch(513, 3, 30, 40);
+  owned.default_band = 7;
+  core::materialize_bands(owned, policy);
+  EXPECT_TRUE(owned.bands.empty());  // batch band info wins, untouched
+  EXPECT_EQ(owned.band_of(0), 7u);
+
+  seq::PairBatch unbanded = saloba::testing::related_batch(514, 3, 30, 40);
+  core::materialize_bands(unbanded, core::BandPolicy{});
+  EXPECT_FALSE(unbanded.has_band_info());
+}
+
+// --- degenerate bands and inputs through the whole pipeline ---------------
+
+TEST(BandedGuards, BandZeroPolicyIsBitIdenticalToUnbanded) {
+  auto batch = saloba::testing::imbalanced_batch(515, 25, 3, 120);
+  AlignerOptions plain;
+  AlignerOptions zero;
+  zero.band = 0;
+  zero.band_frac = 0.0;
+  auto a = core::Aligner(plain).align(batch);
+  auto b = core::Aligner(zero).align(batch);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i], b.results[i]) << "pair " << i;
+  }
+  EXPECT_EQ(a.cells, b.cells);
+}
+
+TEST(BandedGuards, BandOneThroughCpuAndSimulatedBackends) {
+  auto batch = saloba::testing::imbalanced_batch(516, 20, 1, 90);
+  for (auto backend : {core::Backend::kCpu, core::Backend::kSimulated}) {
+    AlignerOptions opts;
+    opts.backend = backend;
+    opts.band = 1;
+    core::Aligner aligner(opts);
+    auto out = aligner.align(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      auto expected =
+          smith_waterman_banded(batch.refs[i], batch.queries[i], opts.scoring, 1).result;
+      EXPECT_EQ(out.results[i], expected)
+          << (backend == core::Backend::kCpu ? "cpu" : "sim") << " pair " << i;
+    }
+  }
+}
+
+TEST(BandedGuards, EmptyBatchAndEmptySequences) {
+  for (auto backend : {core::Backend::kCpu, core::Backend::kSimulated}) {
+    AlignerOptions opts;
+    opts.backend = backend;
+    opts.band = 4;
+    core::Aligner aligner(opts);
+
+    seq::PairBatch empty;
+    auto out = aligner.align(empty);
+    EXPECT_TRUE(out.results.empty());
+    EXPECT_EQ(out.cells, 0u);
+
+    seq::PairBatch degenerate;
+    degenerate.add({}, seq::encode_string("ACGT"), 2);
+    degenerate.add(seq::encode_string("ACGT"), {}, 2);
+    degenerate.add(seq::encode_string("GATTACA"), seq::encode_string("GATTACA"), 1);
+    auto deg = aligner.align(degenerate);
+    EXPECT_EQ(deg.results[0], AlignmentResult{});
+    EXPECT_EQ(deg.results[1], AlignmentResult{});
+    EXPECT_EQ(deg.results[2].score, 7);  // identical pair, diagonal in band
+  }
+}
+
+TEST(BandedGuards, MapBatchPathDegenerateBands) {
+  // The whole ReadMapper::map_batch path — seeding, chaining, job
+  // extraction, batched extension through an Aligner — must neither assert
+  // nor diverge from the per-job CPU reference at full-table (banded=false),
+  // band-1, and default banded job parameters.
+  seq::GenomeParams gp;
+  gp.length = 20000;
+  gp.seed = 99;
+  auto genome = seq::generate_genome(gp);
+  seq::ReadSimulator sim(genome, seq::ReadProfile::illumina_250bp(), 17);
+  std::vector<std::vector<seq::BaseCode>> reads;
+  for (const auto& r : sim.simulate(12)) reads.push_back(r.read.bases);
+  reads.emplace_back();  // empty read rides along
+
+  for (int mode = 0; mode < 3; ++mode) {
+    seedext::MapperParams params;
+    if (mode == 0) params.jobs.banded = false;  // full table
+    if (mode == 1) {                            // band 1
+      params.jobs.min_band = 1;
+      params.jobs.band_frac = 0.0;
+    }
+    seedext::ReadMapper mapper(genome, params);
+    core::AlignerOptions opts;
+    opts.scoring = params.scoring;
+    core::Aligner aligner(opts);
+    auto per_job = mapper.map_batch(reads);
+    auto batched = mapper.map_batch(reads, aligner.batch_extender());
+    ASSERT_EQ(per_job.size(), batched.size()) << "mode " << mode;
+    for (std::size_t i = 0; i < per_job.size(); ++i) {
+      EXPECT_EQ(per_job[i].mapped, batched[i].mapped) << "mode " << mode << " read " << i;
+      EXPECT_EQ(per_job[i].ref_pos, batched[i].ref_pos) << "mode " << mode << " read " << i;
+      EXPECT_EQ(per_job[i].score, batched[i].score) << "mode " << mode << " read " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saloba::align

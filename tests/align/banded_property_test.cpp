@@ -1,0 +1,161 @@
+// Property/fuzz coverage for the banded + z-drop extension primitives:
+// randomized (seeded) pairs asserting the algebraic laws the pipeline relies
+// on rather than point values — z-drop <= 0 is exactly unbounded extension,
+// a z-dropped sweep really did less work, and widening a band can only ever
+// help a banded score.
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "align/extension.hpp"
+#include "align/sw_banded.hpp"
+#include "align/sw_reference.hpp"
+
+namespace saloba::align {
+namespace {
+
+struct Fuzz {
+  util::Xoshiro256 rng;
+  explicit Fuzz(std::uint64_t seed) : rng(seed) {}
+
+  /// A (ref, query) pair that looks like an extension job: the query is a
+  /// mutated prefix of the reference window about half the time, pure
+  /// noise otherwise, so both decaying and growing score trajectories occur.
+  std::pair<std::vector<seq::BaseCode>, std::vector<seq::BaseCode>> next_pair(
+      std::size_t max_len) {
+    std::size_t n = 1 + rng.below(max_len);
+    std::size_t m = 1 + rng.below(max_len);
+    auto ref = saloba::testing::random_seq(rng, n);
+    std::vector<seq::BaseCode> query;
+    if (m <= n && rng.bernoulli(0.5)) {
+      query.assign(ref.begin(), ref.begin() + static_cast<std::ptrdiff_t>(m));
+      query = saloba::testing::mutate(rng, query, 0.05 + 0.2 * rng.uniform());
+    } else {
+      query = saloba::testing::random_seq(rng, m);
+    }
+    return {std::move(ref), std::move(query)};
+  }
+};
+
+bool same_extension(const ExtensionResult& a, const ExtensionResult& b) {
+  return a.score == b.score && a.query_used == b.query_used && a.ref_used == b.ref_used &&
+         a.to_query_end == b.to_query_end && a.reached_query_end == b.reached_query_end;
+}
+
+TEST(ExtensionProperties, NonPositiveZdropEqualsUnboundedExtension) {
+  Fuzz fuzz(6100);
+  ScoringScheme s;
+  for (int trial = 0; trial < 60; ++trial) {
+    auto [ref, query] = fuzz.next_pair(150);
+    ExtensionParams unbounded;
+    unbounded.h0 = static_cast<Score>(fuzz.rng.below(60));
+    unbounded.zdrop = 0;
+    auto base = extend(ref, query, s, unbounded);
+    EXPECT_FALSE(base.zdropped);
+    EXPECT_EQ(base.cells_computed, ref.size() * query.size());
+
+    for (Score zdrop : {Score{0}, Score{-1}, Score{-100}}) {
+      ExtensionParams p = unbounded;
+      p.zdrop = zdrop;
+      auto got = extend(ref, query, s, p);
+      EXPECT_TRUE(same_extension(got, base)) << "trial " << trial << " zdrop " << zdrop;
+      EXPECT_FALSE(got.zdropped);
+      EXPECT_EQ(got.cells_computed, base.cells_computed);
+    }
+  }
+}
+
+TEST(ExtensionProperties, ZdroppedImpliesStrictlyFewerCells) {
+  Fuzz fuzz(6200);
+  ScoringScheme s;
+  int dropped = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    auto [ref, query] = fuzz.next_pair(120);
+    ExtensionParams p;
+    p.h0 = 5;
+    p.zdrop = 1 + static_cast<Score>(fuzz.rng.below(30));
+    auto got = extend(ref, query, s, p);
+    const std::size_t full = ref.size() * query.size();
+    EXPECT_LE(got.cells_computed, full);
+    if (got.zdropped) {
+      ++dropped;
+      // The drop fired on some row before the last: strictly fewer cells.
+      EXPECT_LT(got.cells_computed, full) << "trial " << trial;
+      // A z-dropped sweep still computed whole rows.
+      EXPECT_EQ(got.cells_computed % query.size(), 0u) << "trial " << trial;
+      // And the score can only have missed improvements, never invented any.
+      ExtensionParams unbounded = p;
+      unbounded.zdrop = 0;
+      EXPECT_LE(got.score, extend(ref, query, s, unbounded).score) << "trial " << trial;
+    }
+  }
+  // The fuzz mix must actually exercise the property (noise pairs decay
+  // fast, so many trials z-drop).
+  EXPECT_GT(dropped, 10);
+}
+
+TEST(ExtensionProperties, BandedZdropSameLaws) {
+  // The same two laws for smith_waterman_banded's BandedParams::zdrop,
+  // which align_batch applies per pair for the CPU backend.
+  Fuzz fuzz(6300);
+  ScoringScheme s;
+  int dropped = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    auto [ref, query] = fuzz.next_pair(120);
+    BandedParams p;
+    p.band = fuzz.rng.bernoulli(0.5) ? 0 : 1 + fuzz.rng.below(40);
+    p.zdrop = 1 + static_cast<Score>(fuzz.rng.below(25));
+    auto pruned = smith_waterman_banded(ref, query, s, p);
+    BandedParams off = p;
+    off.zdrop = 0;
+    auto full = smith_waterman_banded(ref, query, s, off);
+    EXPECT_FALSE(full.zdropped);
+    if (pruned.zdropped) {
+      ++dropped;
+      EXPECT_LT(pruned.cells_computed, full.cells_computed) << "trial " << trial;
+      EXPECT_LE(pruned.result.score, full.result.score) << "trial " << trial;
+    } else {
+      EXPECT_EQ(pruned.result, full.result) << "trial " << trial;
+      EXPECT_EQ(pruned.cells_computed, full.cells_computed) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(dropped, 5);
+}
+
+TEST(BandedProperties, WideningTheBandNeverLowersTheScore) {
+  Fuzz fuzz(6400);
+  ScoringScheme s;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto [ref, query] = fuzz.next_pair(140);
+    const std::size_t covering = std::max(ref.size(), query.size());
+    Score prev = std::numeric_limits<Score>::min();
+    for (std::size_t band = 1; band < covering; band = band * 2 + 1) {
+      auto got = smith_waterman_banded(ref, query, s, band);
+      EXPECT_GE(got.result.score, prev)
+          << "trial " << trial << " band " << band << " n=" << ref.size()
+          << " m=" << query.size();
+      prev = got.result.score;
+    }
+    // A covering band tops the ladder and is exactly full Smith-Waterman.
+    auto widest = smith_waterman_banded(ref, query, s, covering);
+    EXPECT_GE(widest.result.score, prev) << "trial " << trial;
+    EXPECT_EQ(widest.result, smith_waterman(ref, query, s)) << "trial " << trial;
+  }
+}
+
+TEST(BandedProperties, WideningTheBandNeverComputesFewerCells) {
+  Fuzz fuzz(6500);
+  ScoringScheme s;
+  for (int trial = 0; trial < 30; ++trial) {
+    auto [ref, query] = fuzz.next_pair(100);
+    std::size_t prev = 0;
+    for (std::size_t band : {1u, 4u, 16u, 64u, 256u}) {
+      auto got = smith_waterman_banded(ref, query, s, band);
+      EXPECT_GE(got.cells_computed, prev) << "trial " << trial << " band " << band;
+      prev = got.cells_computed;
+      EXPECT_EQ(got.cells_computed, seq::banded_cells(ref.size(), query.size(), band));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saloba::align

@@ -61,6 +61,109 @@ TEST(StreamAligner, StreamedSimBitIdenticalToOneShotAcrossDevices) {
   }
 }
 
+TEST(StreamAligner, StreamedBandPolicyBitIdenticalToOneShot) {
+  // Banded parity (Sec. VII-B): with an Aligner-level band policy set, a
+  // streamed run must stay bit-identical to one-shot Aligner::align — the
+  // per-chunk materialization cannot drift from the scheduler's.
+  auto batch = saloba::testing::imbalanced_batch(806, 47, 10, 350);
+  for (bool simulated : {false, true}) {
+    AlignerOptions opts = simulated ? sim_options(2) : AlignerOptions{};
+    opts.band = 6;
+    opts.band_frac = 0.125;
+    auto expected = Aligner(opts).align(batch);
+
+    StreamOptions stream;
+    stream.chunk_pairs = 8;
+    stream.queue_capacity = 3;
+    stream.align_threads = 2;
+    StreamAligner streamer(opts, stream);
+    auto out = streamer.align_streamed(batch);
+
+    EXPECT_EQ(out.results, expected.results) << (simulated ? "sim" : "cpu");
+    // The banded workload measure is conserved across chunking too.
+    EXPECT_EQ(out.cells, expected.cells) << (simulated ? "sim" : "cpu");
+    seq::PairBatch banded = batch;
+    materialize_bands(banded, opts.band_policy());
+    EXPECT_EQ(out.cells, banded.total_banded_cells());
+    if (simulated) {
+      ASSERT_TRUE(out.kernel_stats.has_value());
+      EXPECT_EQ(out.kernel_stats->totals.dp_cells, expected.kernel_stats->totals.dp_cells);
+      EXPECT_EQ(out.kernel_stats->totals.dp_cells_skipped,
+                expected.kernel_stats->totals.dp_cells_skipped);
+    }
+  }
+}
+
+TEST(StreamAligner, ExplicitSchedulePreservesAlignerBandPolicy) {
+  // Regression: pinning StreamOptions::schedule (a results-neutral tuning
+  // override) must not silently discard the AlignerOptions band policy —
+  // streamed stays bit-identical to one-shot for the same AlignerOptions.
+  auto batch = saloba::testing::imbalanced_batch(808, 30, 10, 250);
+  AlignerOptions opts;
+  opts.band = 9;
+  auto expected = Aligner(opts).align(batch);
+
+  StreamOptions stream;
+  stream.chunk_pairs = 5;
+  SchedulerOptions pinned;
+  pinned.max_shard_pairs = 3;  // tuning only; band left unset
+  stream.schedule = pinned;
+  StreamAligner streamer(opts, stream);
+  auto out = streamer.align_streamed(batch);
+  EXPECT_EQ(out.results, expected.results);
+  EXPECT_EQ(out.cells, expected.cells);
+}
+
+TEST(StreamAligner, MixedBandSourceBatchUnderPolicyStaysOneShotIdentical) {
+  // Regression: a source batch mixing explicit band-0 (full table) pairs
+  // with banded ones, streamed at one pair per chunk under an Aligner band
+  // policy. Chunks holding only band-0 pairs must keep counting as
+  // band-carrying, or the policy would banded-clamp pairs the one-shot
+  // path runs full-table.
+  util::Xoshiro256 rng(809);
+  seq::PairBatch batch;
+  for (int i = 0; i < 16; ++i) {
+    std::size_t len = 40 + rng.below(200);
+    batch.add(saloba::testing::random_seq(rng, len),
+              saloba::testing::random_seq(rng, len + rng.below(60)),
+              i % 2 == 0 ? 0 : 1 + rng.below(24));
+  }
+  ASSERT_TRUE(batch.has_band_info());
+  AlignerOptions opts;
+  opts.band = 2;  // would clamp the band-0 pairs hard if it leaked through
+  auto expected = Aligner(opts).align(batch);
+
+  StreamOptions stream;
+  stream.chunk_pairs = 1;  // isolates every band-0 pair in its own chunk
+  StreamAligner streamer(opts, stream);
+  auto out = streamer.align_streamed(batch);
+  EXPECT_EQ(out.results, expected.results);
+  EXPECT_EQ(out.cells, expected.cells);
+}
+
+TEST(StreamAligner, StreamedBandedSourceBatchBitIdenticalToOneShot) {
+  // A source batch that already carries its own per-pair bands (the seedext
+  // job shape): ResidentChunkSource must forward them into every chunk.
+  util::Xoshiro256 rng(807);
+  seq::PairBatch batch;
+  for (int i = 0; i < 40; ++i) {
+    std::size_t len = 20 + rng.below(300);
+    batch.add(saloba::testing::random_seq(rng, len),
+              saloba::testing::random_seq(rng, len + rng.below(80)),
+              1 + rng.below(48));
+  }
+  AlignerOptions opts = sim_options(1);
+  auto expected = Aligner(opts).align(batch);
+
+  StreamOptions stream;
+  stream.chunk_pairs = 6;
+  StreamAligner streamer(opts, stream);
+  auto out = streamer.align_streamed(batch);
+  EXPECT_EQ(out.results, expected.results);
+  EXPECT_EQ(out.cells, expected.cells);
+  EXPECT_EQ(out.cells, batch.total_banded_cells());
+}
+
 TEST(StreamAligner, MergerRestoresOrderUnderConcurrentWorkers) {
   // Wildly skewed chunk costs + 3 concurrent align workers: chunks finish
   // out of order, the sink must still see them in input order.

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "../support/test_support.hpp"
+#include "align/sw_banded.hpp"
 #include "align/sw_reference.hpp"
 #include "kernels/kernel_iface.hpp"
 
@@ -57,6 +58,38 @@ TEST_P(KernelEquivalence, UnequalAndRaggedLengthsMatchReference) {
   auto expected = reference_results(batch, s);
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(result.results[i], expected[i]) << kernel->info().name << " pair " << i;
+  }
+}
+
+TEST_P(KernelEquivalence, BandedBatchMatchesBandedReference) {
+  // Banded variant of the matrix (Sec. VII-B): the same ragged batch under
+  // band ∈ {1, 8, 32, huge} must match align::smith_waterman_banded at the
+  // same band for every kernel — and the huge band, covering every table,
+  // must also reproduce the full-table reference.
+  auto param = GetParam();
+  auto kernel = make_kernel(param.kernel);
+  if (param.len > kernel->info().max_len) GTEST_SKIP() << "beyond structural limit";
+
+  ScoringScheme s;
+  auto batch = saloba::testing::imbalanced_batch(4000 + param.len, 20, 3, param.len);
+  auto full = reference_results(batch, s);
+  for (std::size_t band : {std::size_t{1}, std::size_t{8}, std::size_t{32},
+                           std::size_t{1} << 20}) {
+    seq::PairBatch banded_batch = batch;
+    banded_batch.default_band = band;
+    gpusim::Device dev(gpusim::DeviceSpec::gtx1650());
+    auto result = kernel->run(dev, banded_batch, s);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      auto expected = align::smith_waterman_banded(batch.refs[i], batch.queries[i], s,
+                                                   align::BandedParams{band, 0})
+                          .result;
+      EXPECT_EQ(result.results[i], expected)
+          << kernel->info().name << " band " << band << " pair " << i;
+      if (band >= std::max(batch.refs[i].size(), batch.queries[i].size())) {
+        EXPECT_EQ(result.results[i], full[i])
+            << kernel->info().name << " huge band, pair " << i;
+      }
+    }
   }
 }
 
