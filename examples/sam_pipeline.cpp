@@ -24,6 +24,9 @@ int main(int argc, char** argv) {
   args.add_string("workdir", "directory for generated files", "/tmp/saloba_sam_demo");
   args.add_int("genome", "genome length (bases)", 1 << 20);
   args.add_int("reads", "reads to simulate", 500);
+  args.add_flag("traceback",
+                "two-phase mapping: CIGARs from the batched traceback phase "
+                "(AlignerOptions::traceback) instead of the per-record fallback");
   if (!args.parse(argc, argv)) return 1;
 
   namespace fs = std::filesystem;
@@ -59,9 +62,21 @@ int main(int argc, char** argv) {
   seedext::ReadMapper mapper(reference[0].bases, seedext::MapperParams{});
   std::vector<std::vector<seq::BaseCode>> read_seqs;
   for (const auto& r : reads) read_seqs.push_back(r.bases);
+  const bool traceback = args.get_flag("traceback");
+  // Two aligners on purpose: extensions only need the score pass, and a
+  // traceback-enabled Aligner would run (and discard) a traceback phase on
+  // every extension batch; only the window batch needs the second phase.
   core::Aligner extension_aligner{core::AlignerOptions{}};  // CPU backend
+  core::AlignerOptions trace_opts;
+  trace_opts.traceback = true;
+  core::Aligner trace_aligner(trace_opts);
   util::Timer timer;
-  auto mappings = mapper.map_batch(read_seqs, extension_aligner.batch_extender());
+  // With --traceback the window CIGARs come out of the batched two-phase
+  // pipeline; otherwise to_sam_record traces each record on demand.
+  auto mappings =
+      traceback ? mapper.map_batch(read_seqs, extension_aligner.batch_extender(),
+                                   trace_aligner.traced_extender())
+                : mapper.map_batch(read_seqs, extension_aligner.batch_extender());
 
   std::ofstream sam_file(dir / "alignments.sam");
   seq::SamHeader header;
@@ -71,12 +86,23 @@ int main(int argc, char** argv) {
   seq::SamWriter writer(sam_file, header);
 
   std::size_t mapped = 0;
+  std::size_t traced = 0;
   for (std::size_t i = 0; i < reads.size(); ++i) {
     mapped += mappings[i].mapped;
+    traced += mappings[i].has_traceback;
     writer.write(seedext::to_sam_record(mapper, reads[i], mappings[i], reference[0].name));
   }
-  std::printf("mapped %zu/%zu reads in %.1f ms -> %s\n", mapped, reads.size(),
-              timer.millis(), (dir / "alignments.sam").c_str());
+  std::printf("mapped %zu/%zu reads in %.1f ms (%zu batched CIGARs) -> %s\n", mapped,
+              reads.size(), timer.millis(), traced, (dir / "alignments.sam").c_str());
+  if (mapped == 0) {
+    std::fprintf(stderr, "FAIL: nothing mapped\n");
+    return 1;
+  }
+  if (traceback && traced != mapped) {
+    std::fprintf(stderr, "FAIL: %zu mapped reads but only %zu batched CIGARs\n", mapped,
+                 traced);
+    return 1;
+  }
 
   // 5. Report what the autotuner would pick for this workload's extensions.
   auto jobs = mapper.collect_jobs(read_seqs);

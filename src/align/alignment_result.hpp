@@ -34,12 +34,15 @@ inline void take_better(AlignmentResult& best, const AlignmentResult& cand) {
   if (improves(cand, best)) best = cand;
 }
 
-/// Alignment with full traceback (from align/traceback.hpp).
+/// Alignment with full traceback (from align/traceback.hpp or the batched
+/// linear-memory engine in align/traceback_engine.hpp).
 struct TracedAlignment {
   AlignmentResult end;
   std::int32_t ref_start = -1;    ///< 0-based first aligned reference base
   std::int32_t query_start = -1;  ///< 0-based first aligned query base
   std::string cigar;              ///< e.g. "42M1I17M2D8M" (query-centric I/D)
+
+  bool operator==(const TracedAlignment&) const = default;
 };
 
 std::string format_result(const AlignmentResult& r);

@@ -12,7 +12,9 @@ namespace {
 
 constexpr Score kNegInf = std::numeric_limits<Score>::min() / 4;
 
-std::string compress_ops(const std::string& ops) {
+}  // namespace
+
+std::string compress_cigar(const std::string& ops) {
   std::string out;
   std::size_t i = 0;
   while (i < ops.size()) {
@@ -25,11 +27,15 @@ std::string compress_ops(const std::string& ops) {
   return out;
 }
 
-}  // namespace
-
 TracedAlignment smith_waterman_traceback(std::span<const seq::BaseCode> ref,
                                          std::span<const seq::BaseCode> query,
                                          const ScoringScheme& scoring) {
+  return smith_waterman_traceback(ref, query, scoring, /*band=*/0);
+}
+
+TracedAlignment smith_waterman_traceback(std::span<const seq::BaseCode> ref,
+                                         std::span<const seq::BaseCode> query,
+                                         const ScoringScheme& scoring, std::size_t band) {
   SALOBA_CHECK(scoring.valid());
   const std::size_t n = ref.size();
   const std::size_t m = query.size();
@@ -38,15 +44,22 @@ TracedAlignment smith_waterman_traceback(std::span<const seq::BaseCode> ref,
 
   const Score alpha = scoring.alpha();
   const Score beta = scoring.beta();
+  // band == 0 means full table; a band covering the longest sequence makes
+  // the masked loop identical to the plain one.
+  const std::size_t eff_band = band != 0 ? band : std::max(n, m);
   const std::size_t stride = m + 1;
   std::vector<Score> h((n + 1) * stride, 0);
   std::vector<Score> e((n + 1) * stride, kNegInf);
   std::vector<Score> f((n + 1) * stride, kNegInf);
   auto at = [stride](std::size_t i, std::size_t j) { return i * stride + j; };
 
+  // Out-of-band cells are never written, so they keep the masked-DP
+  // out-of-band semantics for free: H = 0, E/F = -inf.
   AlignmentResult best;
   for (std::size_t i = 1; i <= n; ++i) {
-    for (std::size_t j = 1; j <= m; ++j) {
+    const std::size_t j_lo = i > eff_band ? i - eff_band : 1;
+    const std::size_t j_hi = std::min(m, i + eff_band);
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
       e[at(i, j)] = std::max(h[at(i, j - 1)] - alpha, e[at(i, j - 1)] - beta);
       f[at(i, j)] = std::max(h[at(i - 1, j)] - alpha, f[at(i - 1, j)] - beta);
       Score s = h[at(i - 1, j - 1)] + scoring.substitution(ref[i - 1], query[j - 1]);
@@ -98,7 +111,7 @@ TracedAlignment smith_waterman_traceback(std::span<const seq::BaseCode> ref,
   out.ref_start = static_cast<std::int32_t>(i);
   out.query_start = static_cast<std::int32_t>(j);
   std::reverse(ops.begin(), ops.end());
-  out.cigar = compress_ops(ops);
+  out.cigar = compress_cigar(ops);
   return out;
 }
 

@@ -1,6 +1,7 @@
-// Full-matrix traceback producing CIGAR strings. O(N*M) memory — intended
-// for reporting/examples on moderate lengths, not for the batch hot path
-// (the paper's kernels are score-only, as is ours).
+// Full-matrix traceback producing CIGAR strings. O(N*M) memory — the
+// conformance ORACLE for the batched linear-memory engine
+// (align/traceback_engine.hpp), which is what the pipeline's traceback
+// phase actually runs. Intended for tests and moderate lengths only.
 #pragma once
 
 #include <span>
@@ -18,8 +19,21 @@ TracedAlignment smith_waterman_traceback(std::span<const seq::BaseCode> ref,
                                          std::span<const seq::BaseCode> query,
                                          const ScoringScheme& scoring);
 
+/// Banded full-matrix variant: only cells with |i - j| <= band are computed,
+/// out-of-band cells read H = 0, E/F = -inf (align::smith_waterman_banded
+/// semantics), and the traced path never leaves the band. `band == 0` is the
+/// full table — bit-identical to the unbanded overload. Still O(N*M) memory:
+/// the masked-DP oracle the linear-memory engine is fuzzed against.
+TracedAlignment smith_waterman_traceback(std::span<const seq::BaseCode> ref,
+                                         std::span<const seq::BaseCode> query,
+                                         const ScoringScheme& scoring, std::size_t band);
+
 /// Expands "3M1I2M" to "MMMIMM" (test helper; throws on malformed input).
 std::string expand_cigar(const std::string& cigar);
+
+/// Run-length encodes an op string ("MMMIMM" -> "3M1I2M") — the shared
+/// CIGAR emitter of the full-matrix walk and the checkpointed engine.
+std::string compress_cigar(const std::string& ops);
 
 /// Validates a CIGAR against sequence spans: M/I consume query, M/D consume
 /// reference; returns false on any inconsistency.

@@ -1,0 +1,73 @@
+// Linear-memory banded/checkpointed traceback — the engine behind the
+// pipeline's two-phase alignment (AlignerOptions::traceback).
+//
+// The full-matrix traceback (align/traceback.hpp) stores H/E/F for every
+// cell: O(N*M) memory and a cold serial allocation per pair — exactly the
+// per-pair, locality-blind work the paper's batched kernels exist to
+// eliminate. This engine instead:
+//
+//   1. re-runs the banded forward sweep (bit-identical to
+//      align::smith_waterman_banded, z-drop included) keeping only two row
+//      arrays, snapshotting the row state every `checkpoint_rows` rows —
+//      each snapshot is just the band window, O(band) scores;
+//   2. walks the optimal path backwards, re-deriving H/E/F one
+//      `checkpoint_rows`-row block at a time from the nearest snapshot, so
+//      at most O(checkpoint_rows * band) cells are ever materialized.
+//
+// Memory is O((N / checkpoint_rows + checkpoint_rows) * band) — linear in
+// the sequence length for a fixed band — yet the emitted path is
+// bit-identical to the full-matrix oracle: the same forward values (banded
+// conformance, PR 4) walked with the same M-before-E-before-F preference.
+#pragma once
+
+#include <span>
+
+#include "align/alignment_result.hpp"
+#include "align/scoring.hpp"
+#include "align/sw_banded.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::align {
+
+struct TracebackParams {
+  /// Only cells with |i - j| <= band are computed; 0 = full table.
+  std::size_t band = 0;
+  /// Z-drop row pruning for the forward sweep, mirroring
+  /// align::BandedParams::zdrop so traced endpoints stay bit-identical to a
+  /// z-dropped score pass (<= 0 disables).
+  Score zdrop = 0;
+  /// Rows between row-state snapshots; 0 picks ~sqrt(|ref|), the memory
+  /// sweet spot. 1 degenerates to "snapshot every row" (fuzzed).
+  std::size_t checkpoint_rows = 0;
+};
+
+/// Cost accounting of one engine run — what the simulated backend converts
+/// into modeled traceback-phase time and memory traffic.
+struct TracebackStats {
+  std::size_t forward_cells = 0;  ///< cells of the checkpointed score sweep
+  std::size_t replay_cells = 0;   ///< cells re-derived during the backward walk
+  /// Modeled memory traffic: snapshot writes, snapshot restores, block H/E/F
+  /// stores and the walk's reads (bytes).
+  std::size_t traffic_bytes = 0;
+  bool zdropped = false;  ///< forward sweep ended on the z-drop rule
+
+  std::size_t cells() const { return forward_cells + replay_cells; }
+};
+
+struct TracebackResult {
+  TracedAlignment traced;
+  TracebackStats stats;
+};
+
+/// Traces one pair. Endpoints follow the canonical improves() tie-break of
+/// every score-pass implementation; the CIGAR is bit-identical to
+/// smith_waterman_traceback(ref, query, scoring, band) whenever zdrop is off
+/// (with zdrop the forward sweep — and hence the endpoint — matches
+/// align::smith_waterman_banded instead). A banded trace never leaves
+/// |i - j| <= band.
+TracebackResult banded_traceback(std::span<const seq::BaseCode> ref,
+                                 std::span<const seq::BaseCode> query,
+                                 const ScoringScheme& scoring,
+                                 const TracebackParams& params = {});
+
+}  // namespace saloba::align

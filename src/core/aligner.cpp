@@ -13,6 +13,8 @@ Aligner::Aligner(AlignerOptions options) : options_(std::move(options)) {
   sched.policy = options_.split_policy;
   sched.threads = options_.scheduler_threads;
   sched.band = options_.band_policy();
+  sched.traceback = options_.traceback;
+  sched.traceback_settings.checkpoint_rows = options_.traceback_checkpoint_rows;
   scheduler_ = std::make_unique<BatchScheduler>(backend_.get(), sched);
 }
 
@@ -25,6 +27,13 @@ AlignOutput Aligner::align(const seq::PairBatch& batch) { return scheduler_->run
 std::function<std::vector<align::AlignmentResult>(const seq::PairBatch&)>
 Aligner::batch_extender() {
   return [this](const seq::PairBatch& batch) { return align(batch).results; };
+}
+
+std::function<std::vector<align::TracedAlignment>(const seq::PairBatch&)>
+Aligner::traced_extender() {
+  SALOBA_CHECK_MSG(options_.traceback,
+                   "traced_extender needs AlignerOptions::traceback = true");
+  return [this](const seq::PairBatch& batch) { return align(batch).traced; };
 }
 
 gpusim::DeviceSpec Aligner::device_by_name(const std::string& name) {

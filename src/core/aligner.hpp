@@ -48,7 +48,16 @@ class Aligner {
   /// Adapter for pipeline stages (seedext::BatchExtender-compatible):
   /// aligns batches through this aligner's scheduler and returns just the
   /// per-pair results. The aligner must outlive the returned function.
+  /// Note: on a traceback-enabled aligner this still runs (and discards)
+  /// the traceback phase per batch — pipelines that only need traces for a
+  /// later stage should keep a separate score-only aligner for extension.
   std::function<std::vector<align::AlignmentResult>(const seq::PairBatch&)> batch_extender();
+
+  /// Two-phase adapter (seedext::TracedBatchExtender-compatible): runs the
+  /// score pass plus the batched traceback phase and returns one
+  /// TracedAlignment per pair. Requires AlignerOptions::traceback = true
+  /// (throws otherwise); the aligner must outlive the returned function.
+  std::function<std::vector<align::TracedAlignment>(const seq::PairBatch&)> traced_extender();
 
   /// Resolves a device preset by name (see gpusim::device_by_name); throws
   /// std::invalid_argument listing the valid presets on unknown names.

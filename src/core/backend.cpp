@@ -3,12 +3,61 @@
 #include <algorithm>
 
 #include "align/batch.hpp"
+#include "align/traceback_engine.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/device_registry.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
+#include "util/timer.hpp"
 
 namespace saloba::core {
+namespace {
+
+/// Shared traceback-phase body of both backends: the linear-memory engine
+/// over every pair with a non-zero score-pass result, host-parallel, output
+/// order matching input order. `zdrop` mirrors the backend's score pass so
+/// endpoints stay bit-identical.
+struct EnginePhase {
+  std::vector<align::TracedAlignment> traced;
+  std::size_t cells = 0;
+  std::size_t bytes = 0;
+};
+
+EnginePhase trace_batch(const seq::PairBatch& batch,
+                        std::span<const align::AlignmentResult> results,
+                        const align::ScoringScheme& scoring, align::Score zdrop,
+                        const TracebackSettings& settings, int threads) {
+  SALOBA_CHECK_MSG(results.size() == batch.size(),
+                   "traceback got " << results.size() << " score results for a "
+                                    << batch.size() << "-pair batch");
+  EnginePhase out;
+  out.traced.resize(batch.size());
+  std::vector<std::size_t> cells(batch.size(), 0);
+  std::vector<std::size_t> bytes(batch.size(), 0);
+  util::parallel_for_indexed(
+      batch.size(),
+      [&](std::size_t i) {
+        // A zero score pass means the empty local alignment — the engine
+        // would re-derive exactly that, so skip the sweep.
+        if (results[i].score <= 0) return;
+        align::TracebackParams params;
+        params.band = batch.band_of(i);
+        params.zdrop = zdrop;
+        params.checkpoint_rows = settings.checkpoint_rows;
+        auto r = align::banded_traceback(batch.refs[i], batch.queries[i], scoring, params);
+        out.traced[i] = std::move(r.traced);
+        cells[i] = r.stats.cells();
+        bytes[i] = r.stats.traffic_bytes;
+      },
+      threads);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    out.cells += cells[i];
+    out.bytes += bytes[i];
+  }
+  return out;
+}
+
+}  // namespace
 
 std::vector<double> lane_weights(const AlignBackend& backend) {
   std::vector<double> weights(static_cast<std::size_t>(backend.lanes()));
@@ -45,6 +94,20 @@ BackendOutput CpuBackend::run(const seq::PairBatch& batch, int lane) {
   out.results = align::align_batch(batch, scoring_, &timing, threads_per_lane_, zdrop_);
   out.time_ms = timing.wall_ms;
   out.cells = timing.cells;
+  return out;
+}
+
+TracebackOutput CpuBackend::run_traceback(const seq::PairBatch& batch,
+                                          std::span<const align::AlignmentResult> results,
+                                          const TracebackSettings& settings, int lane) {
+  SALOBA_CHECK_MSG(lane >= 0 && lane < lanes_, "lane " << lane << " out of range");
+  util::Timer timer;
+  EnginePhase phase =
+      trace_batch(batch, results, scoring_, zdrop_, settings, threads_per_lane_);
+  TracebackOutput out;
+  out.traced = std::move(phase.traced);
+  out.cells = phase.cells;
+  out.time_ms = timer.millis();
   return out;
 }
 
@@ -103,6 +166,29 @@ BackendOutput SimulatedGpuBackend::run(const seq::PairBatch& batch, int lane) {
   out.cells = kr.stats.totals.dp_cells;
   out.kernel_stats = kr.stats;
   out.time_breakdown = kr.time;
+  return out;
+}
+
+TracebackOutput SimulatedGpuBackend::run_traceback(
+    const seq::PairBatch& batch, std::span<const align::AlignmentResult> results,
+    const TracebackSettings& settings, int lane) {
+  SALOBA_CHECK_MSG(lane >= 0 && lane < lanes(), "lane " << lane << " out of range");
+  // Functional pass on the host (no zdrop: the kernels apply none, so traced
+  // endpoints match the kernels bit-for-bit)...
+  EnginePhase phase = trace_batch(batch, results, scoring_, /*zdrop=*/0, settings,
+                                  /*threads=*/0);
+  TracebackOutput out;
+  out.traced = std::move(phase.traced);
+  out.cells = phase.cells;
+  // ...then the phase's modeled cost on this lane's device.
+  const gpusim::Device& dev = *devices_[static_cast<std::size_t>(lane)];
+  out.time_breakdown = gpusim::estimate_traceback_time(
+      dev.spec(), dev.cost_params(), phase.cells, phase.bytes);
+  out.time_ms = out.time_breakdown->total_ms;
+  gpusim::KernelStats stats;
+  stats.totals.traceback_cells = phase.cells;
+  stats.totals.traceback_bytes = phase.bytes;
+  out.kernel_stats = stats;
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,32 @@ struct BackendOutput {
   std::optional<gpusim::TimeBreakdown> time_breakdown;
 };
 
+/// What one traceback-phase run on one lane produced (two-phase alignment,
+/// AlignerOptions::traceback).
+struct TracebackOutput {
+  /// One traced alignment per batch pair, input order. Pairs whose score
+  /// pass found nothing (score 0) get the empty TracedAlignment.
+  std::vector<align::TracedAlignment> traced;
+  /// Wall-clock milliseconds for the CPU backend; modeled traceback-phase
+  /// milliseconds for the simulated backend.
+  double time_ms = 0.0;
+  /// Engine cells spent on the phase (forward sweep + backward replay).
+  std::size_t cells = 0;
+  /// Simulated backend only: the phase's counters and modeled time
+  /// (WarpCounters::traceback_cells/traceback_bytes,
+  /// TimeBreakdown::traceback_ms).
+  std::optional<gpusim::KernelStats> kernel_stats;
+  std::optional<gpusim::TimeBreakdown> time_breakdown;
+};
+
+/// Engine knobs the scheduler threads into run_traceback.
+struct TracebackSettings {
+  /// Rows between row-state snapshots (0 = engine default, ~sqrt(|ref|)).
+  std::size_t checkpoint_rows = 0;
+
+  bool operator==(const TracebackSettings&) const = default;
+};
+
 class AlignBackend {
  public:
   virtual ~AlignBackend() = default;
@@ -53,6 +80,16 @@ class AlignBackend {
   /// kernels::KernelUnsupportedError or gpusim::DeviceOomError, faithfully
   /// to the modelled library.
   virtual BackendOutput run(const seq::PairBatch& batch, int lane) = 0;
+
+  /// Traceback phase for a batch whose score pass produced `results`
+  /// (size == batch.size()): one TracedAlignment per pair through the
+  /// linear-memory engine (align::banded_traceback), honoring the batch's
+  /// per-pair bands. Pairs with a zero score-pass result are skipped (their
+  /// trace is empty by construction). Endpoints reproduce `results` for any
+  /// score pass that is bit-identical to the CPU reference.
+  virtual TracebackOutput run_traceback(const seq::PairBatch& batch,
+                                        std::span<const align::AlignmentResult> results,
+                                        const TracebackSettings& settings, int lane) = 0;
 };
 
 /// All of a backend's lane weights, in lane order (size == lanes()).
@@ -79,6 +116,11 @@ class CpuBackend final : public AlignBackend {
   /// per-lane thread count — uniform, keeping the unweighted scheduler path.
   double lane_weight(int lane) const override;
   BackendOutput run(const seq::PairBatch& batch, int lane) override;
+  /// Engine params mirror the score pass (per-pair band + this backend's
+  /// zdrop), so traced endpoints are bit-identical to run()'s results.
+  TracebackOutput run_traceback(const seq::PairBatch& batch,
+                                std::span<const align::AlignmentResult> results,
+                                const TracebackSettings& settings, int lane) override;
 
  private:
   align::ScoringScheme scoring_;
@@ -107,6 +149,14 @@ class SimulatedGpuBackend final : public AlignBackend {
   /// (>= 1.0; uniform presets yield exactly 1.0 everywhere).
   double lane_weight(int lane) const override;
   BackendOutput run(const seq::PairBatch& batch, int lane) override;
+  /// Functionally runs the engine on the host (kernels apply no zdrop, so
+  /// endpoints match the kernels bit-for-bit), then models the phase's time
+  /// and memory traffic on the lane's device
+  /// (gpusim::estimate_traceback_time; counters land in
+  /// WarpCounters::traceback_cells/traceback_bytes).
+  TracebackOutput run_traceback(const seq::PairBatch& batch,
+                                std::span<const align::AlignmentResult> results,
+                                const TracebackSettings& settings, int lane) override;
 
   gpusim::Device& device(int lane) { return *devices_[static_cast<std::size_t>(lane)]; }
 

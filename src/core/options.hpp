@@ -74,6 +74,19 @@ struct AlignerOptions {
   /// The band knobs above as a BandPolicy (what the scheduler materializes).
   BandPolicy band_policy() const { return BandPolicy{band, band_frac}; }
 
+  // --- Traceback phase (two-phase alignment) ------------------------------
+  /// When true every align() becomes a two-phase run: the usual score pass
+  /// (any backend/kernel, banded or not), then a scheduler-orchestrated
+  /// traceback pass that produces one align::TracedAlignment — start
+  /// coordinates + CIGAR — per pair (AlignOutput::traced, input order).
+  /// Banded pairs trace inside |i - j| <= band, bit-consistently with the
+  /// banded score pass; the CPU backend's zdrop is mirrored so endpoints
+  /// agree there too.
+  bool traceback = false;
+  /// Rows between the traceback engine's row-state snapshots (0 = ~sqrt of
+  /// the reference length; see align::TracebackParams::checkpoint_rows).
+  std::size_t traceback_checkpoint_rows = 0;
+
   // --- Scheduler (host-side batching) ------------------------------------
   /// Simulated devices the scheduler spreads shards across (Sec. VII-C
   /// multi-GPU dispatch; simulated backend only — the CPU backend always

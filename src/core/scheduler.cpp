@@ -14,6 +14,7 @@ void accumulate_breakdown(gpusim::TimeBreakdown& into, const gpusim::TimeBreakdo
   into.dram_ms += from.dram_ms;
   into.launch_ms += from.launch_ms;
   into.init_ms += from.init_ms;
+  into.traceback_ms += from.traceback_ms;
   into.total_ms += from.total_ms;
   into.dram_bytes += from.dram_bytes;
   into.sm_imbalance = std::max(into.sm_imbalance, from.sm_imbalance);
@@ -73,6 +74,21 @@ AlignOutput BatchScheduler::run_single(const seq::PairBatch& batch) {
   out.schedule.lane_weights = lane_weights(*backend_);
   out.schedule.makespan_ms = bo.time_ms;
   finalize_balance(out.schedule);
+  if (options_.traceback) {
+    TracebackOutput tb =
+        backend_->run_traceback(batch, out.results, options_.traceback_settings, 0);
+    out.traced = std::move(tb.traced);
+    out.traceback_ms = tb.time_ms;
+    out.traceback_cells = tb.cells;
+    if (tb.kernel_stats) {
+      if (!out.kernel_stats) out.kernel_stats.emplace();
+      out.kernel_stats->merge(*tb.kernel_stats);
+    }
+    if (tb.time_breakdown) {
+      if (!out.time_breakdown) out.time_breakdown.emplace();
+      accumulate_breakdown(*out.time_breakdown, *tb.time_breakdown);
+    }
+  }
   return out;
 }
 
@@ -146,7 +162,68 @@ AlignOutput BatchScheduler::run_resolved(const seq::PairBatch& batch) {
   }
   if (failure) std::rethrow_exception(failure);
 
-  return merge(batch, shards, outputs);
+  AlignOutput out = merge(batch, shards, outputs);
+  if (options_.traceback) traceback_phase(batch, shards, outputs, out);
+  return out;
+}
+
+void BatchScheduler::traceback_phase(const seq::PairBatch& batch,
+                                     const std::vector<gpusim::Shard>& shards,
+                                     const std::vector<BackendOutput>& outputs,
+                                     AlignOutput& out) {
+  // Second wave on the same lane assignment: a shard's traceback needs only
+  // that shard's score results, so lanes drain their shards independently
+  // again — no barrier beyond the score pass already settled.
+  std::vector<std::vector<std::size_t>> lane_shards(
+      static_cast<std::size_t>(backend_->lanes()));
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    lane_shards[static_cast<std::size_t>(shards[s].lane)].push_back(s);
+  }
+  std::vector<TracebackOutput> traces(shards.size());
+  std::vector<std::future<void>> futures;
+  for (const std::vector<std::size_t>& mine : lane_shards) {
+    if (mine.empty()) continue;
+    futures.push_back(pool().submit([this, &shards, &outputs, &traces, &mine] {
+      for (std::size_t s : mine) {
+        traces[s] = backend_->run_traceback(shards[s].batch, outputs[s].results,
+                                            options_.traceback_settings, shards[s].lane);
+      }
+    }));
+  }
+  std::exception_ptr failure;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!failure) failure = std::current_exception();
+    }
+  }
+  if (failure) std::rethrow_exception(failure);
+
+  // Input-order merge, shard-id order for deterministic stats.
+  out.traced.resize(batch.size());
+  std::vector<double> lane_tb_ms(static_cast<std::size_t>(backend_->lanes()), 0.0);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const gpusim::Shard& shard = shards[s];
+    TracebackOutput& tb = traces[s];
+    SALOBA_CHECK_MSG(tb.traced.size() == shard.indices.size(),
+                     "traceback returned " << tb.traced.size() << " traces for a "
+                                           << shard.indices.size() << "-pair shard");
+    for (std::size_t i = 0; i < shard.indices.size(); ++i) {
+      out.traced[shard.indices[i]] = std::move(tb.traced[i]);
+    }
+    out.traceback_cells += tb.cells;
+    lane_tb_ms[static_cast<std::size_t>(shard.lane)] += tb.time_ms;
+    if (tb.kernel_stats) {
+      if (!out.kernel_stats) out.kernel_stats.emplace();
+      out.kernel_stats->merge(*tb.kernel_stats);
+    }
+    if (tb.time_breakdown) {
+      if (!out.time_breakdown) out.time_breakdown.emplace();
+      accumulate_breakdown(*out.time_breakdown, *tb.time_breakdown);
+    }
+  }
+  for (double ms : lane_tb_ms) out.traceback_ms = std::max(out.traceback_ms, ms);
 }
 
 AlignOutput BatchScheduler::merge(const seq::PairBatch& batch,

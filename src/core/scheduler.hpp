@@ -39,6 +39,12 @@ struct SchedulerOptions {
   /// backend-construction knob (AlignerOptions::zdrop), not a scheduler
   /// default.
   BandPolicy band;
+  /// Two-phase alignment (AlignerOptions::traceback): after the score pass
+  /// settles, a second ThreadPool wave runs the backend's traceback phase
+  /// shard by shard on the same lanes and merges one TracedAlignment per
+  /// pair back in input order (AlignOutput::traced).
+  bool traceback = false;
+  TracebackSettings traceback_settings;
 };
 
 /// How a batch was executed: shard count and per-lane time accounting.
@@ -90,6 +96,18 @@ struct AlignOutput {
   std::optional<gpusim::KernelStats> kernel_stats;
   std::optional<gpusim::TimeBreakdown> time_breakdown;
   ScheduleReport schedule;
+
+  // --- Traceback phase (two-phase runs only, SchedulerOptions::traceback) --
+  /// One traced alignment (start coords + CIGAR) per input pair, in input
+  /// order regardless of sharding; empty for score-only runs. Endpoints
+  /// equal `results` under the canonical improves() tie-break.
+  std::vector<align::TracedAlignment> traced;
+  /// Traceback-phase makespan across lanes — wall-clock for the CPU
+  /// backend, modeled phase time for simulated devices. `time_ms` keeps the
+  /// score pass only, so the two report the score-vs-traceback cost split.
+  double traceback_ms = 0.0;
+  /// Engine cells the phase spent (forward sweep + backward replay).
+  std::size_t traceback_cells = 0;
 };
 
 class BatchScheduler {
@@ -112,6 +130,10 @@ class BatchScheduler {
   AlignOutput run_single(const seq::PairBatch& batch);
   AlignOutput merge(const seq::PairBatch& batch, const std::vector<gpusim::Shard>& shards,
                     std::vector<BackendOutput>& outputs);
+  /// Phase two: per-shard run_traceback over the same lane assignment,
+  /// merged into `out.traced` in input order.
+  void traceback_phase(const seq::PairBatch& batch, const std::vector<gpusim::Shard>& shards,
+                       const std::vector<BackendOutput>& outputs, AlignOutput& out);
   util::ThreadPool& pool();
 
   AlignBackend* backend_;

@@ -36,7 +36,8 @@ struct OutChunk {
 
 bool same_schedule(const SchedulerOptions& a, const SchedulerOptions& b) {
   return a.max_shard_pairs == b.max_shard_pairs && a.policy == b.policy &&
-         a.threads == b.threads && a.band == b.band;
+         a.threads == b.threads && a.band == b.band && a.traceback == b.traceback &&
+         a.traceback_settings == b.traceback_settings;
 }
 
 void raise_peak(std::atomic<std::size_t>& peak, std::size_t value) {
@@ -235,6 +236,13 @@ StreamStats StreamAligner::run(PairChunkSource& source, const ChunkSink& sink) {
           wanted.policy = options_.split_policy;
           wanted.threads = options_.scheduler_threads;
         }
+        // Two-phase runs: AlignerOptions::traceback applies unless an
+        // explicit StreamOptions::schedule already turned the phase on
+        // itself — the same override rule as the band policy above.
+        if (!wanted.traceback && options_.traceback) {
+          wanted.traceback = true;
+          wanted.traceback_settings.checkpoint_rows = options_.traceback_checkpoint_rows;
+        }
         BatchScheduler* sched = nullptr;
         for (auto& [opts, cached] : cache) {
           if (same_schedule(wanted, opts)) {
@@ -283,6 +291,8 @@ StreamStats StreamAligner::run(PairChunkSource& source, const ChunkSink& sink) {
         stats.cells += ready.output.cells;
         stats.shards += ready.output.schedule.shards;
         stats.align_ms += ready.output.time_ms;
+        stats.traceback_ms += ready.output.traceback_ms;
+        stats.traceback_cells += ready.output.traceback_cells;
         SALOBA_CHECK_MSG(ready.output.schedule.lane_ms.size() == stats.lane_ms.size(),
                          "chunk ran on a backend with a different lane count");
         for (std::size_t l = 0; l < stats.lane_ms.size(); ++l) {
@@ -319,6 +329,13 @@ AlignOutput StreamAligner::align_streamed(const seq::PairBatch& batch) {
       run(source, [&](std::size_t, std::size_t first_pair, AlignOutput&& chunk) {
         std::copy(chunk.results.begin(), chunk.results.end(),
                   total.results.begin() + static_cast<std::ptrdiff_t>(first_pair));
+        if (!chunk.traced.empty()) {
+          if (total.traced.size() != total.results.size()) {
+            total.traced.resize(total.results.size());
+          }
+          std::move(chunk.traced.begin(), chunk.traced.end(),
+                    total.traced.begin() + static_cast<std::ptrdiff_t>(first_pair));
+        }
         if (chunk.kernel_stats) {
           if (!total.kernel_stats) total.kernel_stats.emplace();
           total.kernel_stats->merge(*chunk.kernel_stats);
@@ -332,6 +349,8 @@ AlignOutput StreamAligner::align_streamed(const seq::PairBatch& batch) {
   total.cells = stats.cells;
   total.time_ms = stats.align_ms;
   total.gcups = stats.gcups;
+  total.traceback_ms = stats.traceback_ms;
+  total.traceback_cells = stats.traceback_cells;
   total.schedule.shards = stats.shards;
   total.schedule.lanes = backend_->lanes();
   total.schedule.lane_ms = stats.lane_ms;

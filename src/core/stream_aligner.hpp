@@ -95,6 +95,11 @@ struct StreamStats {
   /// (wall-clock for the CPU backend, simulated ms for simulated devices).
   double align_ms = 0.0;
   double gcups = 0.0;  ///< cells / align_ms (0 when nothing aligned)
+  /// Traceback-phase time summed over chunks (two-phase runs only); kept
+  /// out of align_ms so the stream reports the same phase split as
+  /// AlignOutput.
+  double traceback_ms = 0.0;
+  std::size_t traceback_cells = 0;  ///< engine cells over the whole stream
   /// Host wall-clock for the whole stream, ingest to last emit — the
   /// pipelined figure benches compare against resident runs.
   double wall_ms = 0.0;

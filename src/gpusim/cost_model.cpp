@@ -11,7 +11,9 @@ namespace saloba::gpusim {
 std::string TimeBreakdown::summary() const {
   std::ostringstream oss;
   oss << "total=" << total_ms << "ms (compute=" << compute_ms << " dram=" << dram_ms
-      << " launch=" << launch_ms << " init=" << init_ms << " imbalance=" << sm_imbalance << ")";
+      << " launch=" << launch_ms << " init=" << init_ms;
+  if (traceback_ms > 0.0) oss << " traceback=" << traceback_ms;
+  oss << " imbalance=" << sm_imbalance << ")";
   return oss.str();
 }
 
@@ -109,6 +111,24 @@ TimeBreakdown estimate_time(const DeviceSpec& spec, const CostParams& params,
   out.init_ms = static_cast<double>(init_bytes) / bw_bytes_per_s * 1e3;
   out.total_ms = std::max(out.compute_ms, out.dram_ms) + out.launch_ms + out.init_ms;
   (void)occ;  // occupancy enters through warp_cycles' hide factor
+  return out;
+}
+
+TimeBreakdown estimate_traceback_time(const DeviceSpec& spec, const CostParams& params,
+                                      std::uint64_t cells, std::uint64_t bytes) {
+  TimeBreakdown out;
+  if (cells == 0 && bytes == 0) return out;
+  // One cell update per lane per issue slot, device-wide: cells / warp_size
+  // warp instructions through the sustained issue rate.
+  const double instructions =
+      static_cast<double>(cells) / static_cast<double>(spec.warp_size);
+  const double compute_ms = instructions * params.cpi / peak_issue_rate(spec) * 1e3;
+  // The phase's checkpoint/block traffic streams through L2 like the score
+  // pass's boundary rows do.
+  const double dram_ms = static_cast<double>(bytes) * (1.0 - spec.l2_hit_rate) /
+                         (spec.mem_bandwidth_gbps * 1e9) * 1e3;
+  out.traceback_ms = std::max(compute_ms, dram_ms) + params.launch_overhead_us / 1e3;
+  out.total_ms = out.traceback_ms;
   return out;
 }
 

@@ -52,6 +52,9 @@ struct TimeBreakdown {
   double dram_ms = 0.0;
   double launch_ms = 0.0;
   double init_ms = 0.0;
+  /// Traceback-phase time of a two-phase run (estimate_traceback_time);
+  /// 0 for score-only runs. Included in total_ms.
+  double traceback_ms = 0.0;
   double total_ms = 0.0;
   /// Diagnostics.
   double sm_imbalance = 0.0;  ///< max SM time / mean SM time (1.0 = balanced)
@@ -77,5 +80,15 @@ double peak_issue_rate(const DeviceSpec& spec);
 TimeBreakdown estimate_time(const DeviceSpec& spec, const CostParams& params,
                             const Occupancy& occ, const std::vector<BlockCost>& block_costs,
                             const WarpCounters& totals, std::uint64_t init_bytes = 0);
+
+/// Traceback-phase time estimate for a two-phase run (LOGAN-style second
+/// kernel): `cells` is the engine's forward + replay cell count, `bytes` its
+/// checkpoint/block memory traffic. Each warp updates one cell per lane per
+/// issue slot; DRAM is charged the traffic after L2 absorption; the phase
+/// pays one launch. The result lands in TimeBreakdown::traceback_ms (the
+/// compute/dram/launch components stay zero so score-pass accounting is
+/// undisturbed when breakdowns are accumulated).
+TimeBreakdown estimate_traceback_time(const DeviceSpec& spec, const CostParams& params,
+                                      std::uint64_t cells, std::uint64_t bytes);
 
 }  // namespace saloba::gpusim

@@ -16,6 +16,8 @@ void WarpCounters::merge(const WarpCounters& other) {
   syncs += other.syncs;
   dp_cells += other.dp_cells;
   dp_cells_skipped += other.dp_cells_skipped;
+  traceback_cells += other.traceback_cells;
+  traceback_bytes += other.traceback_bytes;
 }
 
 double WarpCounters::lane_utilization(int warp_size) const {
@@ -42,6 +44,9 @@ std::string KernelStats::summary(int warp_size) const {
       << " shm_conflict_cyc=" << totals.shared_conflict_cycles
       << " cells=" << totals.dp_cells;
   if (totals.dp_cells_skipped > 0) oss << " cells_skipped=" << totals.dp_cells_skipped;
+  if (totals.traceback_cells > 0) {
+    oss << " tb_cells=" << totals.traceback_cells << " tb_bytes=" << totals.traceback_bytes;
+  }
   return oss.str();
 }
 

@@ -24,6 +24,15 @@ struct WarpCounters {
   /// |i - j| <= band. dp_cells + dp_cells_skipped == the batch's full-table
   /// cell count, so the two together account for the banded saving exactly.
   std::uint64_t dp_cells_skipped = 0;
+  /// Traceback phase (two-phase runs only): cells the checkpointed engine
+  /// swept forward plus cells re-derived during the backward walk. Kept
+  /// separate from dp_cells so the score pass's Table-I accounting is
+  /// untouched and benches can report the score-vs-traceback split.
+  std::uint64_t traceback_cells = 0;
+  /// Traceback phase memory traffic (snapshot writes/restores, block stores,
+  /// walk reads) — charged to DRAM by the traceback time model, not to the
+  /// score pass's global_bytes counters.
+  std::uint64_t traceback_bytes = 0;
 
   void merge(const WarpCounters& other);
 

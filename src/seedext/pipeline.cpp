@@ -6,6 +6,7 @@
 
 #include "align/sw_banded.hpp"
 #include "align/sw_reference.hpp"
+#include "align/traceback_engine.hpp"
 #include "seedext/sam_output.hpp"
 #include "seq/chunk_reader.hpp"
 #include "seq/sam.hpp"
@@ -124,6 +125,63 @@ std::vector<ReadMapping> ReadMapper::map_batch(
 }
 
 std::vector<ReadMapping> ReadMapper::map_batch(
+    std::span<const std::vector<seq::BaseCode>> reads, const BatchExtender& extend,
+    const TracedBatchExtender& trace) const {
+  std::vector<ReadMapping> out = map_batch(reads, extend);
+  attach_tracebacks(reads, out, trace);
+  return out;
+}
+
+void ReadMapper::attach_tracebacks(std::span<const std::vector<seq::BaseCode>> reads,
+                                   std::span<ReadMapping> mappings,
+                                   const TracedBatchExtender& trace) const {
+  SALOBA_CHECK_MSG(reads.size() == mappings.size(),
+                   "attach_tracebacks got " << mappings.size() << " mappings for "
+                                            << reads.size() << " reads");
+  // One batched trace over every mapped read's (oriented read, genome
+  // window) pair — the same window to_sam_record's CIGAR is defined over.
+  std::vector<std::size_t> index;
+  seq::PairBatch batch;
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    if (!mappings[i].mapped || reads[i].empty()) continue;
+    std::vector<seq::BaseCode> oriented =
+        mappings[i].reverse_strand ? seq::reverse_complement(reads[i]) : reads[i];
+    MappedWindow win = mapped_window(genome_.size(), mappings[i].ref_pos, oriented.size());
+    batch.add(std::move(oriented),
+              std::vector<seq::BaseCode>(
+                  genome_.begin() + static_cast<std::ptrdiff_t>(win.start),
+                  genome_.begin() + static_cast<std::ptrdiff_t>(win.end)));
+    index.push_back(i);
+  }
+  if (batch.size() == 0) return;
+  // Window CIGARs are full-table by definition (the window's slack offsets
+  // the alignment diagonal, so an extension-style band around |i - j| = 0
+  // would miss it). Mark the batch as carrying explicit full-table bands so
+  // a banded extender's Aligner-level band policy can never be materialized
+  // onto these pairs — batch-own bands always win.
+  batch.bands.assign(batch.size(), 0);
+
+  std::vector<align::TracedAlignment> traced;
+  if (trace) {
+    traced = trace(batch);
+    SALOBA_CHECK_MSG(traced.size() == batch.size(),
+                     "traced extender returned " << traced.size() << " traces for "
+                                                 << batch.size() << " pairs");
+  } else {
+    // In-process fallback: the linear-memory engine, host-parallel.
+    traced.resize(batch.size());
+    util::parallel_for_indexed(batch.size(), [&](std::size_t p) {
+      traced[p] =
+          align::banded_traceback(batch.refs[p], batch.queries[p], params_.scoring).traced;
+    });
+  }
+  for (std::size_t p = 0; p < batch.size(); ++p) {
+    mappings[index[p]].traced = std::move(traced[p]);
+    mappings[index[p]].has_traceback = true;
+  }
+}
+
+std::vector<ReadMapping> ReadMapper::map_batch(
     std::span<const std::vector<seq::BaseCode>> reads, const BatchExtender& extend) const {
   // Stage 1 (host-parallel): seeding + chaining + job extraction per read.
   std::vector<PreparedRead> prepared(reads.size());
@@ -155,10 +213,16 @@ std::vector<ReadMapping> ReadMapper::map_batch(
   return out;
 }
 
-StreamMapStats ReadMapper::map_stream(
-    seq::SequenceChunkReader& reader, const BatchExtender& extend,
+namespace {
+
+/// The one streaming loop behind every map_stream overload; `trace` is null
+/// for score-only streams, a (possibly empty, = engine fallback) extender
+/// when the traceback stage is on.
+StreamMapStats run_map_stream(
+    const ReadMapper& mapper, seq::SequenceChunkReader& reader, const BatchExtender& extend,
+    const TracedBatchExtender* trace,
     const std::function<void(const seq::Sequence&, const ReadMapping&)>& sink,
-    std::size_t queue_capacity) const {
+    std::size_t queue_capacity) {
   util::Timer timer;
   StreamMapStats stats;
   util::BoundedQueue<seq::SequenceChunk> queue(queue_capacity);
@@ -186,7 +250,8 @@ StreamMapStats ReadMapper::map_stream(
       std::vector<std::vector<seq::BaseCode>> read_seqs;
       read_seqs.reserve(chunk->records.size());
       for (const auto& r : chunk->records) read_seqs.push_back(r.bases);
-      auto mappings = map_batch(read_seqs, extend);
+      auto mappings = trace ? mapper.map_batch(read_seqs, extend, *trace)
+                            : mapper.map_batch(read_seqs, extend);
       for (std::size_t i = 0; i < mappings.size(); ++i) {
         stats.mapped += mappings[i].mapped ? 1 : 0;
         if (sink) sink(chunk->records[i], mappings[i]);
@@ -206,12 +271,43 @@ StreamMapStats ReadMapper::map_stream(
   return stats;
 }
 
+}  // namespace
+
+StreamMapStats ReadMapper::map_stream(
+    seq::SequenceChunkReader& reader, const BatchExtender& extend,
+    const std::function<void(const seq::Sequence&, const ReadMapping&)>& sink,
+    std::size_t queue_capacity) const {
+  return run_map_stream(*this, reader, extend, /*trace=*/nullptr, sink, queue_capacity);
+}
+
+StreamMapStats ReadMapper::map_stream(
+    seq::SequenceChunkReader& reader, const BatchExtender& extend,
+    const TracedBatchExtender& trace,
+    const std::function<void(const seq::Sequence&, const ReadMapping&)>& sink,
+    std::size_t queue_capacity) const {
+  return run_map_stream(*this, reader, extend, &trace, sink, queue_capacity);
+}
+
 StreamMapStats ReadMapper::map_stream(seq::SequenceChunkReader& reader,
                                       const BatchExtender& extend, seq::SamWriter& writer,
                                       const std::string& reference_name,
                                       std::size_t queue_capacity) const {
   return map_stream(
       reader, extend,
+      [&](const seq::Sequence& read, const ReadMapping& mapping) {
+        writer.write(to_sam_record(*this, read, mapping, reference_name));
+      },
+      queue_capacity);
+}
+
+StreamMapStats ReadMapper::map_stream(seq::SequenceChunkReader& reader,
+                                      const BatchExtender& extend,
+                                      const TracedBatchExtender& trace,
+                                      seq::SamWriter& writer,
+                                      const std::string& reference_name,
+                                      std::size_t queue_capacity) const {
+  return map_stream(
+      reader, extend, trace,
       [&](const seq::Sequence& read, const ReadMapping& mapping) {
         writer.write(to_sam_record(*this, read, mapping, reference_name));
       },

@@ -40,6 +40,12 @@ struct ReadMapping {
   std::size_t ref_pos = 0;      ///< inferred 0-based genome start of the read
   bool reverse_strand = false;
   align::Score score = 0;       ///< seed matches + extension scores
+  /// Traced alignment of the oriented read against its mapped genome window
+  /// (window coordinates; seedext::mapped_window recovers the genome
+  /// offset), filled by the traceback-enabled mapping paths so
+  /// to_sam_record can emit the CIGAR without re-aligning anything.
+  align::TracedAlignment traced;
+  bool has_traceback = false;  ///< `traced` is populated
 };
 
 /// Aggregates of one map_stream run.
@@ -57,6 +63,15 @@ struct StreamMapStats {
 /// Sec. V-D pipeline exercises the same code as the benches.
 using BatchExtender =
     std::function<std::vector<align::AlignmentResult>(const seq::PairBatch&)>;
+
+/// A batched two-phase engine: score pass + traceback phase for every pair
+/// of a PairBatch, one TracedAlignment per pair in input order.
+/// core::Aligner::traced_extender() (AlignerOptions::traceback = true)
+/// adapts the scheduler-backed public path to this signature; a null
+/// TracedBatchExtender makes the mapper fall back to the in-process
+/// linear-memory engine (align::banded_traceback), host-parallel.
+using TracedBatchExtender =
+    std::function<std::vector<align::TracedAlignment>(const seq::PairBatch&)>;
 
 class ReadMapper {
  public:
@@ -82,6 +97,23 @@ class ReadMapper {
   std::vector<ReadMapping> map_batch(std::span<const std::vector<seq::BaseCode>> reads,
                                      const BatchExtender& extend) const;
 
+  /// Batched mapping with the traceback phase attached: after the extension
+  /// stage, every mapped read's (oriented read, genome window) pair is
+  /// gathered into one batch and traced through `trace` (null = the
+  /// in-process linear-memory engine), so each ReadMapping carries the
+  /// CIGAR SAM emission needs — no per-read DP anywhere downstream.
+  std::vector<ReadMapping> map_batch(std::span<const std::vector<seq::BaseCode>> reads,
+                                     const BatchExtender& extend,
+                                     const TracedBatchExtender& trace) const;
+
+  /// The traceback stage of the batched path, exposed for callers that
+  /// already hold mappings: fills `traced`/`has_traceback` of every mapped
+  /// entry from one batched trace run. `reads` and `mappings` must be the
+  /// map_batch inputs/outputs, index-aligned.
+  void attach_tracebacks(std::span<const std::vector<seq::BaseCode>> reads,
+                         std::span<ReadMapping> mappings,
+                         const TracedBatchExtender& trace) const;
+
   /// Streaming Sec. V-D pipeline: a reader thread pulls SequenceChunks from
   /// `reader` through a bounded queue (capacity `queue_capacity` chunks of
   /// backpressure) while the calling thread maps each chunk — seeding and
@@ -97,10 +129,27 @@ class ReadMapper {
       const std::function<void(const seq::Sequence&, const ReadMapping&)>& sink,
       std::size_t queue_capacity = 4) const;
 
+  /// Streaming with the traceback phase: each chunk's mappings arrive at
+  /// `sink` with `traced` populated (map_batch(reads, extend, trace) per
+  /// chunk), still in input order.
+  StreamMapStats map_stream(
+      seq::SequenceChunkReader& reader, const BatchExtender& extend,
+      const TracedBatchExtender& trace,
+      const std::function<void(const seq::Sequence&, const ReadMapping&)>& sink,
+      std::size_t queue_capacity = 4) const;
+
   /// map_stream writing SAM records incrementally (seedext::to_sam_record)
   /// as each chunk completes — constant-memory FASTQ-to-SAM.
   StreamMapStats map_stream(seq::SequenceChunkReader& reader, const BatchExtender& extend,
                             seq::SamWriter& writer,
+                            const std::string& reference_name = "synthetic",
+                            std::size_t queue_capacity = 4) const;
+
+  /// Streaming FASTQ-to-SAM with batched CIGARs: the traceback phase runs
+  /// per chunk through `trace` and to_sam_record consumes the stored
+  /// traces directly.
+  StreamMapStats map_stream(seq::SequenceChunkReader& reader, const BatchExtender& extend,
+                            const TracedBatchExtender& trace, seq::SamWriter& writer,
                             const std::string& reference_name = "synthetic",
                             std::size_t queue_capacity = 4) const;
 

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
-#include "align/traceback.hpp"
+#include "align/traceback_engine.hpp"
 #include "util/check.hpp"
 
 namespace saloba::seedext {
@@ -16,6 +17,15 @@ int mapq_from_score(align::Score score, std::size_t read_len,
   // Map [0.3, 1.0] onto [0, 60]; anything below 30% identity-score is 0.
   double q = (frac - 0.3) / 0.7 * 60.0;
   return std::clamp(static_cast<int>(std::lround(q)), 0, 60);
+}
+
+MappedWindow mapped_window(std::size_t genome_len, std::size_t ref_pos,
+                           std::size_t oriented_len) {
+  std::size_t slack = std::max<std::size_t>(32, oriented_len / 5);
+  MappedWindow win;
+  win.start = ref_pos > slack ? ref_pos - slack : 0;
+  win.end = std::min(genome_len, ref_pos + oriented_len + slack);
+  return win;
 }
 
 seq::SamRecord to_sam_record(const ReadMapper& mapper, const seq::Sequence& read,
@@ -34,35 +44,38 @@ seq::SamRecord to_sam_record(const ReadMapper& mapper, const seq::Sequence& read
   record.rname = reference_name;
   record.flags = mapping.reverse_strand ? seq::SamRecord::kFlagReverse : 0;
 
-  // Re-derive the CIGAR by aligning the oriented read against a window
-  // around the mapped position.
-  const auto& genome = mapper.genome();
-  std::vector<seq::BaseCode> oriented =
-      mapping.reverse_strand ? seq::reverse_complement(read.bases) : read.bases;
-  std::size_t slack = std::max<std::size_t>(32, oriented.size() / 5);
-  std::size_t win_start = mapping.ref_pos > slack ? mapping.ref_pos - slack : 0;
-  std::size_t win_end = std::min(genome.size(), mapping.ref_pos + oriented.size() + slack);
-  SALOBA_CHECK(win_end > win_start);
-  std::span<const seq::BaseCode> window(genome.data() + win_start, win_end - win_start);
+  const std::size_t read_len = read.bases.size();
+  MappedWindow win = mapped_window(mapper.genome().size(), mapping.ref_pos, read_len);
+  SALOBA_CHECK(win.end > win.start);
 
-  auto traced =
-      align::smith_waterman_traceback(window, oriented, mapper.params().scoring);
+  align::TracedAlignment traced;
+  if (mapping.has_traceback) {
+    // The batched traceback phase already produced this window's CIGAR.
+    traced = mapping.traced;
+  } else {
+    // Fallback for mappings that never went through the phase: the same
+    // linear-memory engine, one pair at a time.
+    const auto& genome = mapper.genome();
+    std::vector<seq::BaseCode> oriented =
+        mapping.reverse_strand ? seq::reverse_complement(read.bases) : read.bases;
+    std::span<const seq::BaseCode> window(genome.data() + win.start, win.end - win.start);
+    traced =
+        align::banded_traceback(window, oriented, mapper.params().scoring).traced;
+  }
   if (traced.end.score <= 0) {
     record.flags |= seq::SamRecord::kFlagUnmapped;
     return record;
   }
 
-  record.pos = win_start + static_cast<std::size_t>(traced.ref_start) + 1;  // SAM is 1-based
+  record.pos = win.start + static_cast<std::size_t>(traced.ref_start) + 1;  // SAM is 1-based
   // Soft-clip query bases outside the local alignment.
   std::string cigar;
   if (traced.query_start > 0) cigar += std::to_string(traced.query_start) + "S";
   cigar += traced.cigar;
-  std::size_t tail =
-      oriented.size() - static_cast<std::size_t>(traced.end.query_end) - 1;
+  std::size_t tail = read_len - static_cast<std::size_t>(traced.end.query_end) - 1;
   if (tail > 0) cigar += std::to_string(tail) + "S";
   record.cigar = cigar;
-  record.mapq = mapq_from_score(traced.end.score, read.bases.size(),
-                                mapper.params().scoring);
+  record.mapq = mapq_from_score(traced.end.score, read_len, mapper.params().scoring);
   record.tags.push_back("AS:i:" + std::to_string(traced.end.score));
   return record;
 }
