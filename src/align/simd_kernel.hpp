@@ -1,0 +1,319 @@
+// Internal header of the inter-sequence SIMD extension engine: the banded,
+// z-drop-aware Smith–Waterman cohort kernel, written once against the Ops
+// vocabulary of simd_vec.hpp and instantiated per ISA
+// (simd_engine.cpp: generic fallback; simd_engine_avx2.cpp: AVX2).
+//
+// Layout (AnySeq/GPU-style inter-task parallelism on the host): one vector
+// lane = one independent (query, reference) pair. A cohort of Ops::kLanes
+// pairs — pre-sorted by length so the padded rectangle stays tight — walks
+// reference rows in lockstep; every lane applies its own band window
+// |i - j| <= band via per-cell masks, so banded pairs prune bit-identically
+// to align::smith_waterman_banded:
+//
+//   * in-band H values are exact (cells outside a lane's window are forced
+//     to H = 0 after computation, which is precisely the out-of-band read
+//     semantics of the scalar oracle; E/F clamp to 0 in the saturating
+//     domain, equivalent to the oracle's -inf because the zero floor of H
+//     dominates any non-positive gap chain),
+//   * the global best is tracked with the canonical row-major tie-break
+//     (smallest ref_end, then smallest query_end — align::improves),
+//   * z-drop terminates a lane's row sweep under exactly the oracle's
+//     condition, and
+//   * a lane whose score saturates (kSatMax) is evicted for the wider pass
+//     — saturation can only surface as a stored in-band kSatMax, so the
+//     per-row detection is exact, never silent.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/alignment_result.hpp"
+#include "align/scoring.hpp"
+#include "seq/sequence.hpp"
+#include "util/parallel.hpp"
+
+namespace saloba::align::simd::detail {
+
+/// Pairs longer than this on either side skip the narrow passes entirely:
+/// endpoint bookkeeping lives in 16-bit index lanes, and a guard well below
+/// 65535 keeps every index comparison unsigned-exact.
+inline constexpr std::size_t kMaxSimdLen = 32000;
+
+/// One widening pass over a set of pairs. `pairs` must arrive pre-sorted
+/// into cohort order (the engine sorts by length once); slots of `results`
+/// and `cells` are written only for pairs the pass settles, and pairs whose
+/// scores saturate are flagged in `overflowed` for the next-wider pass.
+struct PassRequest {
+  const seq::PairBatch* batch = nullptr;
+  const ScoringScheme* scoring = nullptr;
+  Score zdrop = 0;
+  std::span<const std::size_t> pairs;
+  std::vector<AlignmentResult>* results = nullptr;
+  std::vector<std::size_t>* cells = nullptr;
+  std::vector<std::uint8_t>* overflowed = nullptr;
+  int threads = 0;
+};
+
+// ISA entry points (one per lane width). The generic pair is always
+// compiled; the AVX2 pair exists only when the build enables it and is only
+// called after a runtime CPUID check.
+void run_pass_u8_generic(const PassRequest& req);
+void run_pass_u16_generic(const PassRequest& req);
+#if defined(SALOBA_SIMD_AVX2)
+void run_pass_u8_avx2(const PassRequest& req);
+void run_pass_u16_avx2(const PassRequest& req);
+#endif
+
+template <class Ops>
+class CohortKernel {
+ public:
+  static constexpr int kW = Ops::kLanes;
+  static constexpr int kKH = Ops::kIdxHalves;
+  static constexpr int kIW = kW / kKH;
+
+  /// Runs one cohort of up to kW pairs (batch indices in `lane_pairs`).
+  static void run_cohort(const PassRequest& req, std::span<const std::size_t> lane_pairs) {
+    using Vec = typename Ops::Vec;
+    using IVec = typename Ops::IVec;
+    using Elem = typename Ops::Elem;
+
+    const seq::PairBatch& batch = *req.batch;
+    const ScoringScheme& scoring = *req.scoring;
+    const int lanes_used = static_cast<int>(lane_pairs.size());
+
+    // --- per-lane scalar bookkeeping -----------------------------------
+    std::int64_t n[kW] = {}, m[kW] = {}, band[kW] = {}, last_row[kW] = {};
+    bool alive[kW] = {};
+    std::size_t cells_acc[kW] = {};
+    std::int64_t max_n = 0, max_m = 0;
+    for (int l = 0; l < lanes_used; ++l) {
+      const std::size_t p = lane_pairs[static_cast<std::size_t>(l)];
+      n[l] = static_cast<std::int64_t>(batch.refs[p].size());
+      m[l] = static_cast<std::int64_t>(batch.queries[p].size());
+      // band 0 = full table: a band covering the longer side reproduces the
+      // plain algorithm exactly (the oracle's own convention).
+      const std::size_t b = batch.band_of(p);
+      band[l] = b != 0 ? static_cast<std::int64_t>(std::min(b, 2 * kMaxSimdLen))
+                       : std::max(n[l], m[l]);
+      last_row[l] = std::min(n[l] - 1, m[l] - 1 + band[l]);
+      alive[l] = n[l] > 0 && m[l] > 0;
+      max_n = std::max(max_n, n[l]);
+      max_m = std::max(max_m, m[l]);
+    }
+    if (max_n == 0 || max_m == 0) {
+      finish(req, lane_pairs, nullptr, nullptr, nullptr, nullptr, cells_acc);
+      return;
+    }
+
+    // --- SoA transposed base buffers -----------------------------------
+    // refs_t[i*kW + l] = base i of lane l's reference (pad 0xF0: never equal
+    // to a real code or to itself across a real lane, and every padded cell
+    // is out-of-window anyway).
+    std::vector<std::uint8_t> refs_t(static_cast<std::size_t>(max_n) * kW, 0xF0);
+    std::vector<std::uint8_t> queries_t(static_cast<std::size_t>(max_m) * kW, 0xF0);
+    for (int l = 0; l < lanes_used; ++l) {
+      const std::size_t p = lane_pairs[static_cast<std::size_t>(l)];
+      for (std::int64_t i = 0; i < n[l]; ++i) {
+        refs_t[static_cast<std::size_t>(i) * kW + l] = batch.refs[p][static_cast<std::size_t>(i)];
+      }
+      for (std::int64_t j = 0; j < m[l]; ++j) {
+        queries_t[static_cast<std::size_t>(j) * kW + l] =
+            batch.queries[p][static_cast<std::size_t>(j)];
+      }
+    }
+
+    // --- DP state -------------------------------------------------------
+    // H[j] / F[j]: column state vectors. Zero-initialisation doubles as the
+    // out-of-band value (H = 0; F = 0 is the saturating image of -inf).
+    std::vector<Vec> h_col(static_cast<std::size_t>(max_m), Ops::zero());
+    std::vector<Vec> f_col(static_cast<std::size_t>(max_m), Ops::zero());
+
+    const auto clamp_elem = [](Score s) {
+      return static_cast<Elem>(std::min<Score>(s, Ops::kSatMax));
+    };
+    const Vec alpha_v = Ops::splat(clamp_elem(scoring.alpha()));
+    const Vec beta_v = Ops::splat(clamp_elem(scoring.beta()));
+    const Vec match_v = Ops::splat(clamp_elem(scoring.match));
+    const Vec mism_v = Ops::splat(clamp_elem(scoring.mismatch));
+    const Vec n_code = Ops::splat(static_cast<Elem>(seq::kBaseN));
+    const Vec sat_v = Ops::splat(static_cast<Elem>(Ops::kSatMax));
+    const Vec zdrop_v = Ops::splat(clamp_elem(std::max<Score>(req.zdrop, 0)));
+
+    Vec best = Ops::zero();
+    Vec overflow = Ops::zero();
+    IVec best_row[kKH], best_col[kKH];
+    for (int h = 0; h < kKH; ++h) best_row[h] = best_col[h] = Ops::izero();
+
+    alignas(32) std::uint16_t lo16[kW], hi16[kW];
+    alignas(32) std::uint8_t mask_bytes[kW];
+
+    for (std::int64_t i = 0; i < max_n; ++i) {
+      // Per-lane window for this row (scalar side; empty = {0xFFFF, 0}).
+      std::int64_t union_lo = max_m, union_hi = -1;
+      bool any_alive = false;
+      for (int l = 0; l < kW; ++l) {
+        lo16[l] = 0xFFFF;
+        hi16[l] = 0;
+        if (!alive[l] || i >= n[l]) continue;
+        const std::int64_t lo = i > band[l] ? i - band[l] : 0;
+        const std::int64_t hi = std::min(m[l] - 1, i + band[l]);
+        if (lo > hi) {
+          // The band moved past the query end: no row from here on holds
+          // in-band cells for this lane (the oracle's empty-window rows).
+          alive[l] = false;
+          continue;
+        }
+        lo16[l] = static_cast<std::uint16_t>(lo);
+        hi16[l] = static_cast<std::uint16_t>(hi);
+        cells_acc[l] += static_cast<std::size_t>(hi - lo + 1);
+        union_lo = std::min(union_lo, lo);
+        union_hi = std::max(union_hi, hi);
+        any_alive = true;
+      }
+      if (!any_alive) break;
+
+      IVec lo_v[kKH], hi_v[kKH];
+      for (int h = 0; h < kKH; ++h) {
+        lo_v[h] = Ops::iload(lo16 + h * kIW);
+        hi_v[h] = Ops::iload(hi16 + h * kIW);
+      }
+
+      const Vec ref_v = Ops::load_bases(refs_t.data() + static_cast<std::size_t>(i) * kW);
+      const Vec ref_is_n = Ops::cmpeq(ref_v, n_code);
+
+      Vec carry = Ops::zero();   // H(i-1, j-1) diagonal feed
+      Vec h_left = Ops::zero();  // H(i, j-1)
+      Vec e = Ops::zero();       // E(i, j-1), clamped domain
+      Vec row_best = Ops::zero();
+      IVec row_arg[kKH];
+      for (int h = 0; h < kKH; ++h) row_arg[h] = Ops::izero();
+
+      // Start one column early so `carry` picks up H(i-1, lo-1) for lanes
+      // whose window begins at union_lo (the oracle's h_diag seed). That
+      // cell is out-of-band for every lane, so its own value is masked off.
+      const std::int64_t j_start = union_lo > 0 ? union_lo - 1 : 0;
+      for (std::int64_t j = j_start; j <= union_hi; ++j) {
+        const IVec j_v = Ops::isplat(static_cast<std::uint16_t>(j));
+        IVec m0 = Ops::iand(Ops::icmpge(j_v, lo_v[0]), Ops::icmpge(hi_v[0], j_v));
+        IVec m1 = kKH == 2 ? Ops::iand(Ops::icmpge(j_v, lo_v[kKH - 1]),
+                                       Ops::icmpge(hi_v[kKH - 1], j_v))
+                           : m0;
+        const Vec in_band = Ops::compress_mask(m0, m1);
+
+        const Vec q_v = Ops::load_bases(queries_t.data() + static_cast<std::size_t>(j) * kW);
+        const Vec is_match = Ops::andnot(Ops::vor(Ops::cmpeq(q_v, n_code), ref_is_n),
+                                         Ops::cmpeq(ref_v, q_v));
+
+        e = Ops::maxu(Ops::subs(h_left, alpha_v), Ops::subs(e, beta_v));
+        const Vec h_up = h_col[static_cast<std::size_t>(j)];
+        const Vec f = Ops::maxu(Ops::subs(h_up, alpha_v),
+                                Ops::subs(f_col[static_cast<std::size_t>(j)], beta_v));
+        Vec h = Ops::blend(is_match, Ops::adds(carry, match_v), Ops::subs(carry, mism_v));
+        carry = h_up;
+        h = Ops::maxu(h, e);
+        h = Ops::maxu(h, f);
+        h = Ops::vand(h, in_band);
+        h_col[static_cast<std::size_t>(j)] = h;
+        f_col[static_cast<std::size_t>(j)] = Ops::vand(f, in_band);
+        h_left = h;
+
+        // Endpoint bookkeeping: first j that strictly improves the running
+        // row maximum = smallest query_end among the row's best cells.
+        const Vec gt = Ops::cmpgt(h, row_best);
+        row_best = Ops::maxu(row_best, h);
+        for (int half = 0; half < kKH; ++half) {
+          row_arg[half] = Ops::iblend(Ops::expand_mask(gt, half), j_v, row_arg[half]);
+        }
+      }
+
+      // Global best: a row that strictly improves it sets ref_end = i (the
+      // first row carrying the final maximum, the oracle's tie-break).
+      const Vec improved = Ops::cmpgt(row_best, best);
+      best = Ops::maxu(best, row_best);
+      const IVec i_v = Ops::isplat(static_cast<std::uint16_t>(i));
+      for (int half = 0; half < kKH; ++half) {
+        const IVec wide = Ops::expand_mask(improved, half);
+        best_row[half] = Ops::iblend(wide, i_v, best_row[half]);
+        best_col[half] = Ops::iblend(wide, row_arg[half], best_col[half]);
+      }
+
+      // Overflow eviction: a saturated lane's scores are untrustworthy from
+      // this row on — hand the pair to the wider pass.
+      const Vec sat = Ops::cmpeq(row_best, sat_v);
+      if (Ops::any(sat)) {
+        Ops::store_mask(mask_bytes, sat);
+        overflow = Ops::vor(overflow, sat);
+        for (int l = 0; l < kW; ++l) {
+          if (mask_bytes[l]) alive[l] = false;
+        }
+      }
+
+      // Z-drop (oracle rule): while rows with in-band cells remain, stop a
+      // lane whose row best trails its global best by more than zdrop. The
+      // clamped-domain comparison is exact for unsaturated lanes.
+      if (req.zdrop > 0) {
+        const Vec drop = Ops::cmpgt(Ops::subs(best, zdrop_v), row_best);
+        if (Ops::any(drop)) {
+          Ops::store_mask(mask_bytes, drop);
+          for (int l = 0; l < kW; ++l) {
+            if (mask_bytes[l] && alive[l] && i < last_row[l]) alive[l] = false;
+          }
+        }
+      }
+    }
+
+    alignas(32) Elem best_out[kW];
+    alignas(32) std::uint16_t row_out[kW], col_out[kW];
+    alignas(32) std::uint8_t of_out[kW];
+    Ops::store(best_out, best);
+    Ops::store_mask(of_out, overflow);
+    for (int h = 0; h < kKH; ++h) {
+      Ops::istore(row_out + h * kIW, best_row[h]);
+      Ops::istore(col_out + h * kIW, best_col[h]);
+    }
+    finish(req, lane_pairs, best_out, row_out, col_out, of_out, cells_acc);
+  }
+
+ private:
+  using Elem = typename Ops::Elem;
+
+  static void finish(const PassRequest& req, std::span<const std::size_t> lane_pairs,
+                     const Elem* best, const std::uint16_t* row, const std::uint16_t* col,
+                     const std::uint8_t* overflow, const std::size_t* cells) {
+    for (std::size_t l = 0; l < lane_pairs.size(); ++l) {
+      const std::size_t p = lane_pairs[l];
+      if (overflow != nullptr && overflow[l]) {
+        (*req.overflowed)[p] = 1;
+        continue;
+      }
+      AlignmentResult r;
+      if (best != nullptr && best[l] > 0) {
+        r.score = static_cast<Score>(best[l]);
+        r.ref_end = static_cast<std::int32_t>(row[l]);
+        r.query_end = static_cast<std::int32_t>(col[l]);
+      }
+      (*req.results)[p] = r;
+      (*req.cells)[p] = cells[l];
+    }
+  }
+};
+
+/// Shared pass driver: cohorts run independently (host-parallel when a
+/// thread budget allows), each writing only its own pairs' slots.
+template <class Ops>
+void run_pass(const PassRequest& req) {
+  constexpr std::size_t W = static_cast<std::size_t>(Ops::kLanes);
+  const std::size_t cohorts = (req.pairs.size() + W - 1) / W;
+  util::parallel_for_indexed(
+      cohorts,
+      [&](std::size_t c) {
+        const std::size_t begin = c * W;
+        const std::size_t count = std::min(W, req.pairs.size() - begin);
+        CohortKernel<Ops>::run_cohort(req, req.pairs.subspan(begin, count));
+      },
+      req.threads);
+}
+
+}  // namespace saloba::align::simd::detail

@@ -1,0 +1,190 @@
+// Portable lane-vector abstraction behind the inter-sequence SIMD extension
+// engine (align/simd_engine.hpp). The DP kernel (simd_kernel.hpp) is written
+// once against a small "Ops" vocabulary; this header provides the generic
+// fallback implementation (plain fixed-width arrays the compiler may
+// auto-vectorise), and simd_engine_avx2.cpp provides AVX2 intrinsic
+// implementations of the same vocabulary. Which one runs is a runtime CPUID
+// decision (align::simd::cpu_supports_avx2), so one binary serves both old
+// and new hardware.
+//
+// The Ops vocabulary, shared by every implementation:
+//
+//   Elem            unsigned DP lane type (uint8_t or uint16_t); scores are
+//                   carried with *saturating* unsigned arithmetic: the
+//                   local-alignment zero floor maps to saturation at 0, and
+//                   saturation at kSatMax is the overflow signal that evicts
+//                   a lane to the next-wider pass (8 -> 16 -> int32).
+//   kLanes          pairs packed per vector (32 at 8-bit, 16 at 16-bit).
+//   kIdxHalves      how many index vectors (IVec, uint16 lanes) cover one
+//                   Vec: 2 for 8-bit lanes, 1 for 16-bit lanes. Endpoint
+//                   bookkeeping (ref_end/query_end) lives in the index
+//                   domain because positions do not fit a DP lane.
+//   Vec / IVec      the DP-domain and index-domain register types.
+//   zero/splat/load_bases/adds/subs/maxu/cmpeq/vor/blend/vand/andnot/
+//   cmpgt/any/store/store_mask and the i*-prefixed index-domain twins —
+//   see OpsGeneric below for the reference semantics of each.
+#pragma once
+
+#include <cstdint>
+
+namespace saloba::align::simd {
+
+/// Reference (portable) implementation of the Ops vocabulary: fixed-width
+/// arrays and plain loops. Correctness oracle for the intrinsic backends and
+/// the fallback on non-AVX2 builds/hosts.
+template <typename ElemT, int W, int SatMaxV>
+struct OpsGeneric {
+  using Elem = ElemT;
+  static constexpr int kLanes = W;
+  static constexpr int kSatMax = SatMaxV;
+  static constexpr int kIdxHalves = sizeof(Elem) == 1 ? 2 : 1;
+  static constexpr int kIdxLanes = kLanes / kIdxHalves;
+
+  struct Vec {
+    Elem v[kLanes];
+  };
+  struct IVec {
+    std::uint16_t v[kIdxLanes];
+  };
+
+  static Vec zero() {
+    Vec o{};
+    return o;
+  }
+  static Vec splat(Elem s) {
+    Vec o;
+    for (auto& l : o.v) l = s;
+    return o;
+  }
+  /// Widening load: kLanes base codes (one byte each) into DP lanes.
+  static Vec load_bases(const std::uint8_t* p) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) o.v[k] = static_cast<Elem>(p[k]);
+    return o;
+  }
+  /// Saturating unsigned add — saturation at kSatMax is overflow detection.
+  static Vec adds(const Vec& a, const Vec& b) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) {
+      unsigned s = static_cast<unsigned>(a.v[k]) + static_cast<unsigned>(b.v[k]);
+      o.v[k] = static_cast<Elem>(s > static_cast<unsigned>(kSatMax)
+                                     ? static_cast<unsigned>(kSatMax)
+                                     : s);
+    }
+    return o;
+  }
+  /// Saturating unsigned subtract — the floor at 0 is the local-alignment
+  /// clamp (out-of-band / negative E/F collapse to the neutral element).
+  static Vec subs(const Vec& a, const Vec& b) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) o.v[k] = a.v[k] > b.v[k] ? a.v[k] - b.v[k] : 0;
+    return o;
+  }
+  static Vec maxu(const Vec& a, const Vec& b) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) o.v[k] = a.v[k] > b.v[k] ? a.v[k] : b.v[k];
+    return o;
+  }
+  static Vec cmpeq(const Vec& a, const Vec& b) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) o.v[k] = a.v[k] == b.v[k] ? static_cast<Elem>(~Elem{0}) : 0;
+    return o;
+  }
+  static Vec cmpgt(const Vec& a, const Vec& b) {  // unsigned a > b
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) o.v[k] = a.v[k] > b.v[k] ? static_cast<Elem>(~Elem{0}) : 0;
+    return o;
+  }
+  static Vec vand(const Vec& a, const Vec& b) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) o.v[k] = a.v[k] & b.v[k];
+    return o;
+  }
+  static Vec vor(const Vec& a, const Vec& b) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) o.v[k] = a.v[k] | b.v[k];
+    return o;
+  }
+  static Vec andnot(const Vec& mask, const Vec& v) {  // v & ~mask
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) o.v[k] = static_cast<Elem>(v.v[k] & ~mask.v[k]);
+    return o;
+  }
+  static Vec blend(const Vec& mask, const Vec& a, const Vec& b) {  // mask ? a : b
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) o.v[k] = mask.v[k] ? a.v[k] : b.v[k];
+    return o;
+  }
+  static bool any(const Vec& m) {
+    for (int k = 0; k < kLanes; ++k) {
+      if (m.v[k]) return true;
+    }
+    return false;
+  }
+  static void store(Elem* dst, const Vec& v) {
+    for (int k = 0; k < kLanes; ++k) dst[k] = v.v[k];
+  }
+  /// One byte per lane, nonzero where the mask lane is set — the scalar-side
+  /// readout for overflow / z-drop decisions.
+  static void store_mask(std::uint8_t* dst, const Vec& m) {
+    for (int k = 0; k < kLanes; ++k) dst[k] = m.v[k] ? 1 : 0;
+  }
+
+  // --- index domain (uint16 lanes) ---------------------------------------
+  static IVec izero() {
+    IVec o{};
+    return o;
+  }
+  static IVec isplat(std::uint16_t s) {
+    IVec o;
+    for (auto& l : o.v) l = s;
+    return o;
+  }
+  static IVec iload(const std::uint16_t* p) {
+    IVec o;
+    for (int k = 0; k < kIdxLanes; ++k) o.v[k] = p[k];
+    return o;
+  }
+  static void istore(std::uint16_t* dst, const IVec& v) {
+    for (int k = 0; k < kIdxLanes; ++k) dst[k] = v.v[k];
+  }
+  static IVec icmpge(const IVec& a, const IVec& b) {  // unsigned a >= b
+    IVec o;
+    for (int k = 0; k < kIdxLanes; ++k) o.v[k] = a.v[k] >= b.v[k] ? 0xFFFF : 0;
+    return o;
+  }
+  static IVec iand(const IVec& a, const IVec& b) {
+    IVec o;
+    for (int k = 0; k < kIdxLanes; ++k) o.v[k] = a.v[k] & b.v[k];
+    return o;
+  }
+  static IVec iblend(const IVec& mask, const IVec& a, const IVec& b) {  // mask ? a : b
+    IVec o;
+    for (int k = 0; k < kIdxLanes; ++k) o.v[k] = mask.v[k] ? a.v[k] : b.v[k];
+    return o;
+  }
+  /// Widens DP-mask lanes [half*kIdxLanes, (half+1)*kIdxLanes) to 16-bit.
+  static IVec expand_mask(const Vec& m, int half) {
+    IVec o;
+    for (int k = 0; k < kIdxLanes; ++k) {
+      o.v[k] = m.v[half * kIdxLanes + k] ? 0xFFFF : 0;
+    }
+    return o;
+  }
+  /// Narrows kIdxHalves index-domain masks back to one DP-domain mask.
+  static Vec compress_mask(const IVec& m0, const IVec& m1) {
+    Vec o;
+    for (int k = 0; k < kIdxLanes; ++k) o.v[k] = m0.v[k] ? static_cast<Elem>(~Elem{0}) : 0;
+    if constexpr (kIdxHalves == 2) {
+      for (int k = 0; k < kIdxLanes; ++k) {
+        o.v[kIdxLanes + k] = m1.v[k] ? static_cast<Elem>(~Elem{0}) : 0;
+      }
+    }
+    return o;
+  }
+};
+
+using OpsU8Generic = OpsGeneric<std::uint8_t, 32, 255>;
+using OpsU16Generic = OpsGeneric<std::uint16_t, 16, 65535>;
+
+}  // namespace saloba::align::simd

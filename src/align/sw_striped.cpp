@@ -58,10 +58,17 @@ inline Vec shift_in_zero(const Vec& a) {
 Score smith_waterman_striped(std::span<const seq::BaseCode> ref,
                              std::span<const seq::BaseCode> query,
                              const ScoringScheme& scoring) {
+  return smith_waterman_striped_ends(ref, query, scoring).score;
+}
+
+AlignmentResult smith_waterman_striped_ends(std::span<const seq::BaseCode> ref,
+                                            std::span<const seq::BaseCode> query,
+                                            const ScoringScheme& scoring) {
   SALOBA_CHECK(scoring.valid());
   const std::size_t m = query.size();
   const std::size_t n = ref.size();
-  if (m == 0 || n == 0) return 0;
+  AlignmentResult best;
+  if (m == 0 || n == 0) return best;
 
   const std::size_t seg = (m + V - 1) / V;  // stripe (segment) length
   const Score alpha = scoring.alpha();
@@ -83,7 +90,6 @@ Score smith_waterman_striped(std::span<const seq::BaseCode> ref,
   }
 
   std::vector<Vec> h(seg, Vec::splat(0)), e(seg, Vec::splat(0)), h_new(seg);
-  Score best = 0;
 
   for (std::size_t r = 0; r < n; ++r) {
     const Vec* prof = &profile[static_cast<std::size_t>(ref[r]) * seg];
@@ -102,7 +108,6 @@ Score smith_waterman_striped(std::span<const seq::BaseCode> ref,
       score = max_vec(score, e[i]);
       score = max_vec(score, vf);
       h_new[i] = score;
-      for (int k = 0; k < V; ++k) best = std::max(best, score.lane[k]);
 
       // Next-column E and F (pre-decayed for the following reference row /
       // the next segment position respectively).
@@ -133,7 +138,6 @@ Score smith_waterman_striped(std::span<const seq::BaseCode> ref,
         Vec merged = max_vec(h_new[i], cand);
         for (int k = 0; k < V; ++k) {
           if (merged.lane[k] != h_new[i].lane[k]) changed = true;
-          best = std::max(best, merged.lane[k]);
         }
         h_new[i] = merged;
         // Updated H may extend E for the next row as well.
@@ -141,6 +145,25 @@ Score smith_waterman_striped(std::span<const seq::BaseCode> ref,
         vf = max_vec(sub_sat0(merged, alpha), sub_sat0(cand, beta));
       }
       if (!changed) break;
+    }
+
+    // Endpoint recovery: once the row's H is final (lazy-F settled), an
+    // improving row maximum pins ref_end = r; de-striping the first query
+    // index holding it pins query_end. A strictly-improving row is exactly
+    // the scalar reference's first row carrying the final best, so the
+    // canonical tie-break (smallest ref_end, then query_end) is preserved.
+    Vec row_max_v = h_new[0];
+    for (std::size_t i = 1; i < seg; ++i) row_max_v = max_vec(row_max_v, h_new[i]);
+    Score row_max = 0;
+    for (int k = 0; k < V; ++k) row_max = std::max(row_max, row_max_v.lane[k]);
+    if (row_max > best.score) {
+      for (std::size_t j = 0; j < m; ++j) {
+        if (h_new[j % seg].lane[j / seg] == row_max) {
+          best = AlignmentResult{row_max, static_cast<std::int32_t>(r),
+                                 static_cast<std::int32_t>(j)};
+          break;
+        }
+      }
     }
 
     std::swap(h, h_new);

@@ -4,9 +4,11 @@
 // independent lane-wise operations the compiler can vectorise; the F
 // dependency is resolved by Farrar's lazy-F correction loop.
 //
-// Score-only (no end positions): the striped layout trades positional
-// bookkeeping for throughput, exactly like the production implementations.
-// Verified against the scalar reference in tests.
+// End positions are recovered row-wise: after each reference row's lazy-F
+// settles, an improving row max is de-striped back to the smallest query
+// index — reproducing the scalar reference's canonical tie-break (smallest
+// ref_end, then smallest query_end) without per-cell bookkeeping in the hot
+// loop. Verified against the scalar reference in tests.
 #pragma once
 
 #include <span>
@@ -23,5 +25,12 @@ inline constexpr int kStripeLanes = 8;
 Score smith_waterman_striped(std::span<const seq::BaseCode> ref,
                              std::span<const seq::BaseCode> query,
                              const ScoringScheme& scoring);
+
+/// Striped alignment with end positions: bit-identical (score, ref_end,
+/// query_end) to align::smith_waterman. The single-pair int32 settlement
+/// path of the SIMD batch engine (align/simd_engine.hpp).
+AlignmentResult smith_waterman_striped_ends(std::span<const seq::BaseCode> ref,
+                                            std::span<const seq::BaseCode> query,
+                                            const ScoringScheme& scoring);
 
 }  // namespace saloba::align

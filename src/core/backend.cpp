@@ -1,13 +1,16 @@
 #include "core/backend.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "align/batch.hpp"
+#include "align/simd_engine.hpp"
 #include "align/traceback_engine.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/device_registry.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace saloba::core {
@@ -111,6 +114,97 @@ TracebackOutput CpuBackend::run_traceback(const seq::PairBatch& batch,
   return out;
 }
 
+SimdCpuBackend::SimdCpuBackend(align::ScoringScheme scoring, std::vector<LaneKind> kinds,
+                               int threads_total, align::Score zdrop)
+    : scoring_(scoring), kinds_(std::move(kinds)), zdrop_(zdrop) {
+  SALOBA_CHECK_MSG(scoring_.valid(), "invalid scoring scheme");
+  SALOBA_CHECK_MSG(!kinds_.empty(), "SIMD backend needs at least one lane");
+  if (kinds_.size() > 1) {
+    int total = threads_total > 0 ? threads_total : util::max_parallel_threads();
+    threads_per_lane_ = std::max(1, total / static_cast<int>(kinds_.size()));
+  } else if (threads_total > 0) {
+    threads_per_lane_ = threads_total;
+  }
+  const bool mixed =
+      std::any_of(kinds_.begin(), kinds_.end(),
+                  [](LaneKind k) { return k == LaneKind::kScalar; });
+  name_ = mixed ? "simd+cpu" : "simd";
+}
+
+double SimdCpuBackend::lane_weight(int lane) const {
+  SALOBA_CHECK_MSG(lane >= 0 && lane < lanes(), "lane " << lane << " out of range");
+  const double threads = threads_per_lane_ > 0 ? static_cast<double>(threads_per_lane_) : 1.0;
+  return lane_kind(lane) == LaneKind::kSimd ? threads * simd_lane_speedup() : threads;
+}
+
+BackendOutput SimdCpuBackend::run(const seq::PairBatch& batch, int lane) {
+  SALOBA_CHECK_MSG(lane >= 0 && lane < lanes(), "lane " << lane << " out of range");
+  BackendOutput out;
+  if (lane_kind(lane) == LaneKind::kScalar) {
+    align::BatchTiming timing;
+    out.results = align::align_batch(batch, scoring_, &timing, threads_per_lane_, zdrop_);
+    out.time_ms = timing.wall_ms;
+    out.cells = timing.cells;
+    return out;
+  }
+  align::simd::EngineStats stats;
+  out.results = align::simd::align_batch(batch, scoring_, &stats, threads_per_lane_, zdrop_);
+  out.time_ms = stats.wall_ms;
+  out.cells = stats.cells;
+  return out;
+}
+
+TracebackOutput SimdCpuBackend::run_traceback(const seq::PairBatch& batch,
+                                              std::span<const align::AlignmentResult> results,
+                                              const TracebackSettings& settings, int lane) {
+  SALOBA_CHECK_MSG(lane >= 0 && lane < lanes(), "lane " << lane << " out of range");
+  util::Timer timer;
+  EnginePhase phase =
+      trace_batch(batch, results, scoring_, zdrop_, settings, threads_per_lane_);
+  TracebackOutput out;
+  out.traced = std::move(phase.traced);
+  out.cells = phase.cells;
+  out.time_ms = timer.millis();
+  return out;
+}
+
+double simd_lane_speedup() {
+  // Deterministic probe: one cohort-friendly batch of related pairs, both
+  // engines timed single-threaded (lane weights already scale by thread
+  // count), min of two reps each after a shared warm-up. Static-local: runs
+  // once per process, at the first SimdCpuBackend weight query.
+  static const double ratio = [] {
+    util::Xoshiro256 rng(0x5a10ba);
+    seq::PairBatch probe;
+    for (int p = 0; p < 192; ++p) {
+      std::vector<seq::BaseCode> ref(144);
+      for (auto& b : ref) b = static_cast<seq::BaseCode>(rng.below(4));
+      std::vector<seq::BaseCode> query(ref.begin(), ref.begin() + 120);
+      for (auto& b : query) {
+        if (rng.bernoulli(0.08)) b = static_cast<seq::BaseCode>(rng.below(4));
+      }
+      probe.add(std::move(query), std::move(ref));
+    }
+    const align::ScoringScheme scoring;
+    auto time_scalar = [&] {
+      const util::Timer t;
+      align::align_batch(probe, scoring, nullptr, /*threads=*/1);
+      return t.millis();
+    };
+    auto time_simd = [&] {
+      const util::Timer t;
+      align::simd::align_batch(probe, scoring, nullptr, /*threads=*/1);
+      return t.millis();
+    };
+    time_scalar();  // warm-up (page-in, frequency ramp)
+    time_simd();
+    const double scalar_ms = std::min(time_scalar(), time_scalar());
+    const double simd_ms = std::max(std::min(time_simd(), time_simd()), 1e-6);
+    return std::clamp(scalar_ms / simd_ms, 1.0, 64.0);
+  }();
+  return ratio;
+}
+
 SimulatedGpuBackend::SimulatedGpuBackend(const AlignerOptions& options)
     : scoring_(options.scoring) {
   SALOBA_CHECK_MSG(scoring_.valid(), "invalid scoring scheme");
@@ -194,8 +288,42 @@ TracebackOutput SimulatedGpuBackend::run_traceback(
 
 std::unique_ptr<AlignBackend> make_backend(const AlignerOptions& options) {
   if (options.backend == Backend::kCpu) {
-    return std::make_unique<CpuBackend>(options.scoring, options.cpu_lanes,
-                                        options.cpu_threads, options.zdrop);
+    const std::vector<std::string> presets = device_preset_list(options.device);
+    const bool any_host = std::any_of(presets.begin(), presets.end(), is_host_preset);
+    if (!any_host) {
+      // Legacy shape: Backend::kCpu with a GPU preset name (the "rtx3090"
+      // default) — the device string only matters to the simulated backend.
+      return std::make_unique<CpuBackend>(options.scoring, options.cpu_lanes,
+                                          options.cpu_threads, options.zdrop);
+    }
+    if (!std::all_of(presets.begin(), presets.end(), is_host_preset)) {
+      throw std::invalid_argument(
+          "device list \"" + options.device +
+          "\" mixes host engines (cpu/simd) with GPU presets; host lanes and "
+          "simulated devices cannot share one backend");
+    }
+    const bool any_simd = std::any_of(presets.begin(), presets.end(),
+                                      [](const std::string& p) { return p == "simd"; });
+    if (!any_simd) {
+      // All-"cpu" list: the scalar host backend, one lane per entry (a
+      // single "cpu" keeps the cpu_lanes knob in charge, like before).
+      const int lanes = presets.size() > 1 ? static_cast<int>(presets.size())
+                                           : std::max(1, options.cpu_lanes);
+      return std::make_unique<CpuBackend>(options.scoring, lanes, options.cpu_threads,
+                                          options.zdrop);
+    }
+    std::vector<SimdCpuBackend::LaneKind> kinds;
+    if (presets.size() == 1) {
+      kinds.assign(static_cast<std::size_t>(std::max(1, options.cpu_lanes)),
+                   SimdCpuBackend::LaneKind::kSimd);
+    } else {
+      for (const std::string& p : presets) {
+        kinds.push_back(p == "simd" ? SimdCpuBackend::LaneKind::kSimd
+                                    : SimdCpuBackend::LaneKind::kScalar);
+      }
+    }
+    return std::make_unique<SimdCpuBackend>(options.scoring, std::move(kinds),
+                                            options.cpu_threads, options.zdrop);
   }
   return std::make_unique<SimulatedGpuBackend>(options);
 }

@@ -130,6 +130,55 @@ class CpuBackend final : public AlignBackend {
   std::string name_ = "cpu";
 };
 
+/// The inter-sequence SIMD batch aligner (align::simd::align_batch) as a
+/// first-class backend: 8/16-bit saturating vector lanes with an int32
+/// rescue ladder, bit-identical to CpuBackend's results (scores, endpoints,
+/// cell counts) but measured, not modeled, throughput. Selected via
+/// AlignerOptions.device = "simd" (Backend::kCpu); a mixed host list like
+/// "simd,cpu" builds one lane per entry, so the scheduler can split work
+/// cost-aware across a vector lane and a scalar lane.
+class SimdCpuBackend final : public AlignBackend {
+ public:
+  /// What engine a lane runs: the SIMD cohort engine or the scalar batch
+  /// aligner (for mixed "simd,cpu" backends).
+  enum class LaneKind { kSimd, kScalar };
+
+  /// One lane per entry of `kinds`; lanes split `threads_total` evenly like
+  /// CpuBackend. `zdrop > 0` applies z-drop pruning on every lane (both
+  /// engines implement the identical rule).
+  SimdCpuBackend(align::ScoringScheme scoring, std::vector<LaneKind> kinds,
+                 int threads_total = 0, align::Score zdrop = 0);
+
+  const std::string& name() const override { return name_; }
+  int lanes() const override { return static_cast<int>(kinds_.size()); }
+  int threads_per_lane() const { return threads_per_lane_; }
+  LaneKind lane_kind(int lane) const { return kinds_[static_cast<std::size_t>(lane)]; }
+  /// Thread budget x a *calibrated* engine throughput ratio: SIMD lanes
+  /// weigh simd_lane_speedup() times a scalar lane, so PR 3's weighted LPT
+  /// places shards by measured speed, not lane count.
+  double lane_weight(int lane) const override;
+  BackendOutput run(const seq::PairBatch& batch, int lane) override;
+  /// Same engine and settings as CpuBackend's traceback phase: the SIMD
+  /// score pass is bit-identical to the scalar one, so the shared
+  /// linear-memory engine reproduces its endpoints exactly.
+  TracebackOutput run_traceback(const seq::PairBatch& batch,
+                                std::span<const align::AlignmentResult> results,
+                                const TracebackSettings& settings, int lane) override;
+
+ private:
+  align::ScoringScheme scoring_;
+  std::vector<LaneKind> kinds_;
+  int threads_per_lane_ = 0;
+  align::Score zdrop_ = 0;
+  std::string name_;
+};
+
+/// Measured single-thread throughput of align::simd::align_batch relative to
+/// the scalar align::align_batch: a deterministic micro-probe run once per
+/// process (cached), clamped to [1, 64] so a degenerate measurement can
+/// never starve a lane. This is SimdCpuBackend's lane-weight calibration.
+double simd_lane_speedup();
+
 /// A reproduced GPU kernel on N simulated devices. Each lane owns a
 /// gpusim::Device; the kernel object is stateless per run and shared.
 /// `options.device` may list several presets ("gtx1650,rtx3090") for a

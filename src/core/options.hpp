@@ -53,6 +53,14 @@ struct AlignerOptions {
   /// "gtx1650,rtx3090") for a heterogeneous backend with one lane per
   /// preset; the scheduler then partitions work by each lane's relative
   /// throughput (cost-aware weighted LPT).
+  ///
+  /// With Backend::kCpu the list may instead name *host engines*: "simd"
+  /// (the inter-sequence SIMD batch engine, core::SimdCpuBackend) and "cpu"
+  /// (the scalar OpenMP aligner). "simd,cpu" builds a mixed host backend —
+  /// one lane per entry, SIMD lanes weighted by their measured speedup.
+  /// Host engines and GPU presets cannot be mixed in one list; a lone GPU
+  /// preset under Backend::kCpu keeps the legacy meaning (plain CpuBackend,
+  /// device string ignored).
   std::string device = "rtx3090";
   align::ScoringScheme scoring;
   /// Paper-scale batch size used for footprint checks (0 = actual batch).
@@ -116,5 +124,9 @@ struct AlignerOptions {
 /// an empty string or an empty list element ("gtx1650,,rtx3090"); names are
 /// not resolved here — gpusim::device_by_name validates them.
 std::vector<std::string> device_preset_list(const std::string& device);
+
+/// True for device-list entries naming a host engine rather than a GPU
+/// preset: "cpu" (scalar OpenMP aligner) and "simd" (SIMD batch engine).
+bool is_host_preset(const std::string& preset);
 
 }  // namespace saloba::core

@@ -92,6 +92,39 @@ TEST(StripedSW, NonDefaultScheme) {
   }
 }
 
+TEST(StripedSW, EndpointsMatchScalarReference) {
+  // The ends-reporting variant must reproduce the scalar reference's full
+  // (score, ref_end, query_end) triple under the canonical tie-break —
+  // including the de-striping of the query index.
+  ScoringScheme s;
+  util::Xoshiro256 rng(304);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + rng.below(160);
+    const std::size_t m = 1 + rng.below(160);
+    auto ref = saloba::testing::random_seq(rng, n);
+    std::vector<seq::BaseCode> query;
+    if (m <= n && !rng.bernoulli(0.3)) {
+      query.assign(ref.begin(), ref.begin() + static_cast<std::ptrdiff_t>(m));
+      query = saloba::testing::mutate(rng, query, 0.15);
+    } else {
+      query = saloba::testing::random_seq(rng, m);
+    }
+    EXPECT_EQ(smith_waterman_striped_ends(ref, query, s), smith_waterman(ref, query, s))
+        << "n=" << n << " m=" << m;
+  }
+}
+
+TEST(StripedSW, EndpointsTieBreakOnRepeats) {
+  // Repetitive sequences produce many equal-scoring cells; the smallest
+  // (ref_end, query_end) must win, exactly as in the scalar reference.
+  ScoringScheme s;
+  auto ref = seq::encode_string("ACACACACACACACACACAC");
+  auto query = seq::encode_string("ACACAC");
+  EXPECT_EQ(smith_waterman_striped_ends(ref, query, s), smith_waterman(ref, query, s));
+  auto empty_q = std::vector<seq::BaseCode>{};
+  EXPECT_EQ(smith_waterman_striped_ends(ref, empty_q, s), AlignmentResult{});
+}
+
 TEST(StripedSW, HandlesN) {
   ScoringScheme s;
   util::Xoshiro256 rng(303);

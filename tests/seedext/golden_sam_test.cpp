@@ -200,6 +200,28 @@ TEST(GoldenSam, BandedTracedExtenderStillMatchesLegacy) {
   EXPECT_EQ(out.str(), want);
 }
 
+TEST(GoldenSam, SimdBackendPipelineMatchesLegacyByteForByte) {
+  // The inter-sequence SIMD backend as the extension engine: batched
+  // two-phase pipeline through device="simd" must reproduce the scalar
+  // CPU golden SAM byte for byte (scores, endpoints, CIGARs, positions).
+  Fixture f;
+  core::Aligner cpu{core::AlignerOptions{}};
+  std::string want = f.golden(cpu.batch_extender());
+
+  core::AlignerOptions opts;
+  opts.device = "simd";
+  opts.traceback = true;
+  core::Aligner simd(opts);
+  auto mappings =
+      f.mapper->map_batch(f.read_seqs, simd.batch_extender(), simd.traced_extender());
+  std::ostringstream out;
+  seq::SamWriter writer(out, f.header());
+  for (std::size_t i = 0; i < f.reads.size(); ++i) {
+    writer.write(to_sam_record(*f.mapper, f.reads[i], mappings[i], "chrT"));
+  }
+  EXPECT_EQ(out.str(), want);
+}
+
 TEST(GoldenSam, EngineTraceFallbackInsideMapBatchMatchesLegacy) {
   Fixture f;
   core::Aligner aligner{core::AlignerOptions{}};
