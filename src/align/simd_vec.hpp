@@ -187,4 +187,111 @@ struct OpsGeneric {
 using OpsU8Generic = OpsGeneric<std::uint8_t, 32, 255>;
 using OpsU16Generic = OpsGeneric<std::uint16_t, 16, 65535>;
 
+/// Signed 32-bit lane vocabulary (8 lanes per 256-bit register) for the
+/// chaining push kernel (seedext/chain_kernel.hpp): chain scores and gap
+/// penalties are signed int32, not saturating-unsigned DP cells, so this is a
+/// separate, smaller vocabulary — wrapping add/sub (exactly the modular
+/// semantics of _mm256_add_epi32/_mm256_sub_epi32, so ineligible lanes whose
+/// garbage intermediates wrap are still bit-identical across ISAs before the
+/// mask discards them), signed compares, blend. The AVX2 twin lives in
+/// seedext/chain_engine_avx2.cpp.
+struct OpsI32Generic {
+  static constexpr int kLanes = 8;
+  struct Vec {
+    std::int32_t v[kLanes];
+  };
+
+  static Vec splat(std::int32_t s) {
+    Vec o;
+    for (auto& l : o.v) l = s;
+    return o;
+  }
+  static Vec load(const std::int32_t* p) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) o.v[k] = p[k];
+    return o;
+  }
+  static void store(std::int32_t* dst, const Vec& v) {
+    for (int k = 0; k < kLanes; ++k) dst[k] = v.v[k];
+  }
+  /// Wrapping (two's-complement) add, the _mm256_add_epi32 semantics.
+  static Vec add(const Vec& a, const Vec& b) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) {
+      o.v[k] = static_cast<std::int32_t>(static_cast<std::uint32_t>(a.v[k]) +
+                                         static_cast<std::uint32_t>(b.v[k]));
+    }
+    return o;
+  }
+  /// Wrapping (two's-complement) subtract, the _mm256_sub_epi32 semantics.
+  static Vec sub(const Vec& a, const Vec& b) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) {
+      o.v[k] = static_cast<std::int32_t>(static_cast<std::uint32_t>(a.v[k]) -
+                                         static_cast<std::uint32_t>(b.v[k]));
+    }
+    return o;
+  }
+  static Vec smax(const Vec& a, const Vec& b) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) o.v[k] = a.v[k] > b.v[k] ? a.v[k] : b.v[k];
+    return o;
+  }
+  static Vec smin(const Vec& a, const Vec& b) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) o.v[k] = a.v[k] < b.v[k] ? a.v[k] : b.v[k];
+    return o;
+  }
+  static Vec cmpgt(const Vec& a, const Vec& b) {  // signed a > b
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) o.v[k] = a.v[k] > b.v[k] ? -1 : 0;
+    return o;
+  }
+  static Vec vand(const Vec& a, const Vec& b) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) {
+      o.v[k] = static_cast<std::int32_t>(static_cast<std::uint32_t>(a.v[k]) &
+                                         static_cast<std::uint32_t>(b.v[k]));
+    }
+    return o;
+  }
+  static Vec blend(const Vec& mask, const Vec& a, const Vec& b) {  // mask ? a : b
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) o.v[k] = mask.v[k] ? a.v[k] : b.v[k];
+    return o;
+  }
+  static bool any(const Vec& m) {
+    for (int k = 0; k < kLanes; ++k) {
+      if (m.v[k]) return true;
+    }
+    return false;
+  }
+  /// Absolute value, _mm256_abs_epi32 semantics (INT_MIN stays INT_MIN).
+  static Vec sabs(const Vec& a) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) {
+      o.v[k] = a.v[k] < 0 ? static_cast<std::int32_t>(
+                                0u - static_cast<std::uint32_t>(a.v[k]))
+                          : a.v[k];
+    }
+    return o;
+  }
+  /// Per-lane arithmetic >> by the compile-time immediate (sign-filling).
+  template <int Shift>
+  static Vec sra(const Vec& a) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) o.v[k] = a.v[k] >> Shift;
+    return o;
+  }
+  /// Low-32-bit product, _mm256_mullo_epi32 semantics (wrapping).
+  static Vec mullo(const Vec& a, const Vec& b) {
+    Vec o;
+    for (int k = 0; k < kLanes; ++k) {
+      o.v[k] = static_cast<std::int32_t>(static_cast<std::uint32_t>(a.v[k]) *
+                                         static_cast<std::uint32_t>(b.v[k]));
+    }
+    return o;
+  }
+};
+
 }  // namespace saloba::align::simd

@@ -10,6 +10,7 @@ Aligner::Aligner(AlignerOptions options) : options_(std::move(options)) {
   backend_ = make_backend(options_);
   SchedulerOptions sched;
   sched.max_shard_pairs = options_.max_shard_pairs;
+  sched.max_shard_chain_tasks = options_.max_shard_chain_tasks;
   sched.policy = options_.split_policy;
   sched.threads = options_.scheduler_threads;
   sched.band = options_.band_policy();
@@ -34,6 +35,18 @@ Aligner::traced_extender() {
   SALOBA_CHECK_MSG(options_.traceback,
                    "traced_extender needs AlignerOptions::traceback = true");
   return [this](const seq::PairBatch& batch) { return align(batch).traced; };
+}
+
+seedext::BatchChainer Aligner::batch_chainer() {
+  return [this](const seedext::ChainBatch& batch) {
+    ChainPhaseOutput out = scheduler_->chain(batch);
+    seedext::ChainStageResult res;
+    res.chains = std::move(out.chains);
+    res.chaining_ms = out.time_ms;
+    res.anchors = out.anchors;
+    res.updates = out.updates;
+    return res;
+  };
 }
 
 gpusim::DeviceSpec Aligner::device_by_name(const std::string& name) {

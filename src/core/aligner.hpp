@@ -26,6 +26,7 @@
 #include "core/backend.hpp"
 #include "core/options.hpp"
 #include "core/scheduler.hpp"
+#include "seedext/pipeline.hpp"
 #include "seq/sequence.hpp"
 
 namespace saloba::core {
@@ -58,6 +59,14 @@ class Aligner {
   /// TracedAlignment per pair. Requires AlignerOptions::traceback = true
   /// (throws otherwise); the aligner must outlive the returned function.
   std::function<std::vector<align::TracedAlignment>(const seq::PairBatch&)> traced_extender();
+
+  /// Chaining-phase adapter (seedext::BatchChainer-compatible, for
+  /// ReadMapper::set_batch_chainer): runs ChainBatches through the
+  /// scheduler's chaining phase — weighted-LPT task shards across the
+  /// backend's lanes, modeled chaining time on simulated devices — and
+  /// returns the per-task chains plus phase accounting. Bit-identical to
+  /// the in-process default; the aligner must outlive the returned function.
+  seedext::BatchChainer batch_chainer();
 
   /// Resolves a device preset by name (see gpusim::device_by_name); throws
   /// std::invalid_argument listing the valid presets on unknown names.

@@ -60,6 +60,30 @@ EnginePhase trace_batch(const seq::PairBatch& batch,
   return out;
 }
 
+/// Shared chaining-phase body of the host backends: the forward-only engine
+/// over the shard's tasks (ISA dispatch inside), wall-clock timed. Every
+/// backend funnels through seedext::chain_tasks_run, so chains are
+/// bit-identical to the sequential oracle wherever the shard lands.
+ChainingOutput chain_shard(const seedext::ChainBatch& batch,
+                           std::span<const std::size_t> tasks, int threads) {
+  util::Timer timer;
+  ChainingOutput out;
+  out.chains.resize(batch.tasks());
+  seedext::chain_tasks_run(batch, tasks, out.chains, &out.engine_stats, threads);
+  out.anchors = out.engine_stats.anchors;
+  out.updates = out.engine_stats.pushes + out.engine_stats.settled;
+  out.time_ms = timer.millis();
+  return out;
+}
+
+/// The chaining phase's modeled DRAM traffic: each anchor's four SoA columns
+/// stream once (16 B) and each evaluated candidate reads and may rewrite a
+/// score/parent slot (8 B).
+std::uint64_t chaining_traffic_bytes(std::size_t anchors, std::size_t updates) {
+  return static_cast<std::uint64_t>(anchors) * 16 +
+         static_cast<std::uint64_t>(updates) * 8;
+}
+
 }  // namespace
 
 std::vector<double> lane_weights(const AlignBackend& backend) {
@@ -114,6 +138,12 @@ TracebackOutput CpuBackend::run_traceback(const seq::PairBatch& batch,
   return out;
 }
 
+ChainingOutput CpuBackend::run_chaining(const seedext::ChainBatch& batch,
+                                        std::span<const std::size_t> tasks, int lane) {
+  SALOBA_CHECK_MSG(lane >= 0 && lane < lanes_, "lane " << lane << " out of range");
+  return chain_shard(batch, tasks, threads_per_lane_);
+}
+
 SimdCpuBackend::SimdCpuBackend(align::ScoringScheme scoring, std::vector<LaneKind> kinds,
                                int threads_total, align::Score zdrop)
     : scoring_(scoring), kinds_(std::move(kinds)), zdrop_(zdrop) {
@@ -166,6 +196,14 @@ TracebackOutput SimdCpuBackend::run_traceback(const seq::PairBatch& batch,
   out.cells = phase.cells;
   out.time_ms = timer.millis();
   return out;
+}
+
+ChainingOutput SimdCpuBackend::run_chaining(const seedext::ChainBatch& batch,
+                                            std::span<const std::size_t> tasks, int lane) {
+  SALOBA_CHECK_MSG(lane >= 0 && lane < lanes(), "lane " << lane << " out of range");
+  // Both lane kinds run the same engine: chaining's scalar/vector split is a
+  // per-task ISA dispatch inside chain_tasks_run, not a lane property.
+  return chain_shard(batch, tasks, threads_per_lane_);
 }
 
 double simd_lane_speedup() {
@@ -282,6 +320,27 @@ TracebackOutput SimulatedGpuBackend::run_traceback(
   gpusim::KernelStats stats;
   stats.totals.traceback_cells = phase.cells;
   stats.totals.traceback_bytes = phase.bytes;
+  out.kernel_stats = stats;
+  return out;
+}
+
+ChainingOutput SimulatedGpuBackend::run_chaining(const seedext::ChainBatch& batch,
+                                                 std::span<const std::size_t> tasks,
+                                                 int lane) {
+  SALOBA_CHECK_MSG(lane >= 0 && lane < lanes(), "lane " << lane << " out of range");
+  // Functional pass on the host — the engine's output is ISA- and
+  // backend-independent, so the simulated lane returns the same chains...
+  ChainingOutput out = chain_shard(batch, tasks, /*threads=*/0);
+  // ...with the phase's modeled cost on this lane's device replacing the
+  // host wall-clock.
+  const gpusim::Device& dev = *devices_[static_cast<std::size_t>(lane)];
+  const std::uint64_t bytes = chaining_traffic_bytes(out.anchors, out.updates);
+  out.time_breakdown = gpusim::estimate_chaining_time(dev.spec(), dev.cost_params(),
+                                                      out.updates, bytes);
+  out.time_ms = out.time_breakdown->total_ms;
+  gpusim::KernelStats stats;
+  stats.totals.chaining_updates = out.updates;
+  stats.totals.chaining_bytes = bytes;
   out.kernel_stats = stats;
   return out;
 }

@@ -15,6 +15,8 @@
 #include "core/options.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/kernel_iface.hpp"
+#include "seedext/chain_batch.hpp"
+#include "seedext/chain_engine.hpp"
 #include "seq/sequence.hpp"
 
 namespace saloba::core {
@@ -48,6 +50,28 @@ struct TracebackOutput {
   /// Simulated backend only: the phase's counters and modeled time
   /// (WarpCounters::traceback_cells/traceback_bytes,
   /// TimeBreakdown::traceback_ms).
+  std::optional<gpusim::KernelStats> kernel_stats;
+  std::optional<gpusim::TimeBreakdown> time_breakdown;
+};
+
+/// What one chaining-phase run on one lane produced (the batched
+/// forward-only chaining wave, core::BatchScheduler::chain).
+struct ChainingOutput {
+  /// Indexed by *batch* task id; only this run's shard tasks are filled
+  /// (others stay empty vectors), so the scheduler can merge shard outputs
+  /// without remapping.
+  std::vector<std::vector<seedext::Chain>> chains;
+  /// Wall-clock milliseconds for host backends; modeled chaining-phase
+  /// milliseconds for the simulated backend.
+  double time_ms = 0.0;
+  /// Push + settlement candidates the engine evaluated (structural count,
+  /// deterministic across ISAs/threads) — the phase's work measure.
+  std::size_t updates = 0;
+  std::size_t anchors = 0;  ///< anchors across this run's tasks
+  seedext::ChainEngineStats engine_stats;
+  /// Simulated backend only: modeled counters and time
+  /// (WarpCounters::chaining_updates/chaining_bytes,
+  /// TimeBreakdown::chaining_ms).
   std::optional<gpusim::KernelStats> kernel_stats;
   std::optional<gpusim::TimeBreakdown> time_breakdown;
 };
@@ -90,6 +114,13 @@ class AlignBackend {
   virtual TracebackOutput run_traceback(const seq::PairBatch& batch,
                                         std::span<const align::AlignmentResult> results,
                                         const TracebackSettings& settings, int lane) = 0;
+
+  /// Chaining phase for shard `tasks` of a ChainBatch: the forward-only
+  /// fixed-lookahead engine (seedext::chain_tasks_run) on `lane`, results
+  /// bit-identical to the sequential seedext::chain_seeds oracle for every
+  /// task regardless of backend, lane, or ISA.
+  virtual ChainingOutput run_chaining(const seedext::ChainBatch& batch,
+                                      std::span<const std::size_t> tasks, int lane) = 0;
 };
 
 /// All of a backend's lane weights, in lane order (size == lanes()).
@@ -121,6 +152,8 @@ class CpuBackend final : public AlignBackend {
   TracebackOutput run_traceback(const seq::PairBatch& batch,
                                 std::span<const align::AlignmentResult> results,
                                 const TracebackSettings& settings, int lane) override;
+  ChainingOutput run_chaining(const seedext::ChainBatch& batch,
+                              std::span<const std::size_t> tasks, int lane) override;
 
  private:
   align::ScoringScheme scoring_;
@@ -164,6 +197,8 @@ class SimdCpuBackend final : public AlignBackend {
   TracebackOutput run_traceback(const seq::PairBatch& batch,
                                 std::span<const align::AlignmentResult> results,
                                 const TracebackSettings& settings, int lane) override;
+  ChainingOutput run_chaining(const seedext::ChainBatch& batch,
+                              std::span<const std::size_t> tasks, int lane) override;
 
  private:
   align::ScoringScheme scoring_;
@@ -206,6 +241,12 @@ class SimulatedGpuBackend final : public AlignBackend {
   TracebackOutput run_traceback(const seq::PairBatch& batch,
                                 std::span<const align::AlignmentResult> results,
                                 const TracebackSettings& settings, int lane) override;
+  /// Functionally runs the forward-only engine on the host (bit-identical to
+  /// every other backend), then models the phase's time and traffic on the
+  /// lane's device (gpusim::estimate_chaining_time; counters land in
+  /// WarpCounters::chaining_updates/chaining_bytes).
+  ChainingOutput run_chaining(const seedext::ChainBatch& batch,
+                              std::span<const std::size_t> tasks, int lane) override;
 
   gpusim::Device& device(int lane) { return *devices_[static_cast<std::size_t>(lane)]; }
 

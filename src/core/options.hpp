@@ -105,6 +105,9 @@ struct AlignerOptions {
   int devices = 1;
   /// Shard size cap in pairs: 0 = one shard per device.
   std::size_t max_shard_pairs = 0;
+  /// Chaining-phase shard cap in tasks (BatchScheduler::chain via
+  /// batch_chainer()): 0 = one shard per lane.
+  std::size_t max_shard_chain_tasks = 0;
   /// How pairs are packed into shards; kSorted is the paper's "approximate
   /// sorting" mitigation for inter-device imbalance.
   gpusim::SplitPolicy split_policy = gpusim::SplitPolicy::kSorted;

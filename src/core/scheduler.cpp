@@ -15,6 +15,7 @@ void accumulate_breakdown(gpusim::TimeBreakdown& into, const gpusim::TimeBreakdo
   into.launch_ms += from.launch_ms;
   into.init_ms += from.init_ms;
   into.traceback_ms += from.traceback_ms;
+  into.chaining_ms += from.chaining_ms;
   into.total_ms += from.total_ms;
   into.dram_bytes += from.dram_bytes;
   into.sm_imbalance = std::max(into.sm_imbalance, from.sm_imbalance);
@@ -224,6 +225,94 @@ void BatchScheduler::traceback_phase(const seq::PairBatch& batch,
     }
   }
   for (double ms : lane_tb_ms) out.traceback_ms = std::max(out.traceback_ms, ms);
+}
+
+ChainPhaseOutput BatchScheduler::chain(const seedext::ChainBatch& batch) {
+  ChainPhaseOutput out;
+  out.chains.resize(batch.tasks());
+  out.schedule.lanes = backend_->lanes();
+  out.schedule.lane_ms.assign(static_cast<std::size_t>(backend_->lanes()), 0.0);
+  out.schedule.lane_weights = lane_weights(*backend_);
+  if (batch.empty()) {
+    out.schedule.shards = 0;
+    return out;
+  }
+
+  // Fast path: one lane, no cap — a single synchronous run on lane 0.
+  const int lanes = backend_->lanes();
+  if (lanes == 1 && options_.max_shard_chain_tasks == 0) {
+    std::vector<std::size_t> all(batch.tasks());
+    for (std::size_t t = 0; t < all.size(); ++t) all[t] = t;
+    ChainingOutput co = backend_->run_chaining(batch, all, 0);
+    out.chains = std::move(co.chains);
+    out.time_ms = co.time_ms;
+    out.anchors = co.anchors;
+    out.updates = co.updates;
+    out.engine_stats = co.engine_stats;
+    out.kernel_stats = std::move(co.kernel_stats);
+    out.time_breakdown = std::move(co.time_breakdown);
+    out.schedule.shards = 1;
+    out.schedule.lane_ms[0] = co.time_ms;
+    out.schedule.makespan_ms = co.time_ms;
+    finalize_balance(out.schedule);
+    return out;
+  }
+
+  // Weighted-LPT task sharding, then the traceback-wave dispatch shape: one
+  // future per lane draining that lane's shards in order.
+  auto shards = seedext::make_chain_shards(batch, lane_weights(*backend_),
+                                           options_.max_shard_chain_tasks);
+  std::vector<std::vector<std::size_t>> lane_shards(static_cast<std::size_t>(lanes));
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    lane_shards[static_cast<std::size_t>(shards[s].lane)].push_back(s);
+  }
+  std::vector<ChainingOutput> outputs(shards.size());
+  std::vector<std::future<void>> futures;
+  for (const std::vector<std::size_t>& mine : lane_shards) {
+    if (mine.empty()) continue;
+    futures.push_back(pool().submit([this, &batch, &shards, &outputs, &mine] {
+      for (std::size_t s : mine) {
+        outputs[s] = backend_->run_chaining(batch, shards[s].tasks, shards[s].lane);
+      }
+    }));
+  }
+  std::exception_ptr failure;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!failure) failure = std::current_exception();
+    }
+  }
+  if (failure) std::rethrow_exception(failure);
+
+  // Task-id merge in shard-id order: chains land in their batch slots;
+  // stats never depend on thread timing.
+  out.schedule.shards = shards.size();
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    ChainingOutput& co = outputs[s];
+    for (std::size_t t : shards[s].tasks) {
+      out.chains[t] = std::move(co.chains[t]);
+    }
+    out.anchors += co.anchors;
+    out.updates += co.updates;
+    out.engine_stats.merge(co.engine_stats);
+    out.schedule.lane_ms[static_cast<std::size_t>(shards[s].lane)] += co.time_ms;
+    if (co.kernel_stats) {
+      if (!out.kernel_stats) out.kernel_stats.emplace();
+      out.kernel_stats->merge(*co.kernel_stats);
+    }
+    if (co.time_breakdown) {
+      if (!out.time_breakdown) out.time_breakdown.emplace();
+      accumulate_breakdown(*out.time_breakdown, *co.time_breakdown);
+    }
+  }
+  for (double ms : out.schedule.lane_ms) {
+    out.schedule.makespan_ms = std::max(out.schedule.makespan_ms, ms);
+  }
+  finalize_balance(out.schedule);
+  out.time_ms = out.schedule.makespan_ms;
+  return out;
 }
 
 AlignOutput BatchScheduler::merge(const seq::PairBatch& batch,

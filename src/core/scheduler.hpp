@@ -45,6 +45,10 @@ struct SchedulerOptions {
   /// pair back in input order (AlignOutput::traced).
   bool traceback = false;
   TracebackSettings traceback_settings;
+  /// Chaining-phase shard cap in tasks: 0 = one shard per backend lane.
+  /// Like max_shard_pairs but for BatchScheduler::chain — capped shards let
+  /// a fast lane own several like-cost runs (weighted LPT on anchor work).
+  std::size_t max_shard_chain_tasks = 0;
 };
 
 /// How a batch was executed: shard count and per-lane time accounting.
@@ -110,6 +114,25 @@ struct AlignOutput {
   std::size_t traceback_cells = 0;
 };
 
+/// What a scheduler-orchestrated chaining phase produced
+/// (BatchScheduler::chain).
+struct ChainPhaseOutput {
+  /// Chains per batch task id — bit-identical to running the sequential
+  /// seedext::chain_seeds oracle on each task, regardless of sharding, lane
+  /// placement, thread timing, or ISA.
+  std::vector<std::vector<seedext::Chain>> chains;
+  /// Phase makespan across lanes: wall-clock for host backends, modeled
+  /// chaining time (TimeBreakdown::chaining_ms) for simulated devices.
+  double time_ms = 0.0;
+  std::size_t anchors = 0;  ///< anchors chained across all tasks
+  std::size_t updates = 0;  ///< push + settlement candidates evaluated
+  seedext::ChainEngineStats engine_stats;
+  /// Simulated backend only; aggregated over every shard.
+  std::optional<gpusim::KernelStats> kernel_stats;
+  std::optional<gpusim::TimeBreakdown> time_breakdown;
+  ScheduleReport schedule;
+};
+
 class BatchScheduler {
  public:
   /// `backend` must outlive the scheduler.
@@ -124,6 +147,13 @@ class BatchScheduler {
   /// band channel first (see core::materialize_bands) unless the batch
   /// already carries one.
   AlignOutput run(const seq::PairBatch& batch);
+
+  /// Chaining phase: shards the ChainBatch's tasks across the backend's
+  /// lanes by weighted LPT on anchor work (seedext::make_chain_shards, the
+  /// extension shards' packing discipline), dispatches one future per lane
+  /// over the same ThreadPool, and merges chains back by task id. One lane
+  /// and no cap degenerates to a single synchronous run_chaining call.
+  ChainPhaseOutput chain(const seedext::ChainBatch& batch);
 
  private:
   AlignOutput run_resolved(const seq::PairBatch& batch);

@@ -13,6 +13,7 @@ std::string TimeBreakdown::summary() const {
   oss << "total=" << total_ms << "ms (compute=" << compute_ms << " dram=" << dram_ms
       << " launch=" << launch_ms << " init=" << init_ms;
   if (traceback_ms > 0.0) oss << " traceback=" << traceback_ms;
+  if (chaining_ms > 0.0) oss << " chaining=" << chaining_ms;
   oss << " imbalance=" << sm_imbalance << ")";
   return oss.str();
 }
@@ -129,6 +130,25 @@ TimeBreakdown estimate_traceback_time(const DeviceSpec& spec, const CostParams& 
                          (spec.mem_bandwidth_gbps * 1e9) * 1e3;
   out.traceback_ms = std::max(compute_ms, dram_ms) + params.launch_overhead_us / 1e3;
   out.total_ms = out.traceback_ms;
+  return out;
+}
+
+TimeBreakdown estimate_chaining_time(const DeviceSpec& spec, const CostParams& params,
+                                     std::uint64_t updates, std::uint64_t bytes) {
+  TimeBreakdown out;
+  if (updates == 0 && bytes == 0) return out;
+  // One push/settlement candidate per lane per issue slot, device-wide —
+  // the forward-only recurrence is branch-light and fixed-trip, so issue
+  // throughput, not divergence, bounds it.
+  const double instructions =
+      static_cast<double>(updates) / static_cast<double>(spec.warp_size);
+  const double compute_ms = instructions * params.cpi / peak_issue_rate(spec) * 1e3;
+  // SoA anchor columns stream with unit stride; score/parent writes hit the
+  // same L2 sets as the reads that preceded them.
+  const double dram_ms = static_cast<double>(bytes) * (1.0 - spec.l2_hit_rate) /
+                         (spec.mem_bandwidth_gbps * 1e9) * 1e3;
+  out.chaining_ms = std::max(compute_ms, dram_ms) + params.launch_overhead_us / 1e3;
+  out.total_ms = out.chaining_ms;
   return out;
 }
 

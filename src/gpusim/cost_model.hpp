@@ -55,6 +55,10 @@ struct TimeBreakdown {
   /// Traceback-phase time of a two-phase run (estimate_traceback_time);
   /// 0 for score-only runs. Included in total_ms.
   double traceback_ms = 0.0;
+  /// Chaining-phase time (estimate_chaining_time); 0 for runs without a
+  /// batched chaining pass. Included in total_ms, reported separately from
+  /// extension compute and traceback.
+  double chaining_ms = 0.0;
   double total_ms = 0.0;
   /// Diagnostics.
   double sm_imbalance = 0.0;  ///< max SM time / mean SM time (1.0 = balanced)
@@ -90,5 +94,15 @@ TimeBreakdown estimate_time(const DeviceSpec& spec, const CostParams& params,
 /// undisturbed when breakdowns are accumulated).
 TimeBreakdown estimate_traceback_time(const DeviceSpec& spec, const CostParams& params,
                                       std::uint64_t cells, std::uint64_t bytes);
+
+/// Chaining-phase time estimate for the batched forward-only recurrence:
+/// `updates` is the engine's push + settlement candidate count (one
+/// score-candidate evaluation per lane per issue slot, so updates /
+/// warp_size warp instructions through the sustained issue rate), `bytes`
+/// its SoA anchor-column and score/parent traffic. The result lands in
+/// TimeBreakdown::chaining_ms (compute/dram/launch stay zero so extension
+/// accounting is undisturbed when breakdowns are accumulated).
+TimeBreakdown estimate_chaining_time(const DeviceSpec& spec, const CostParams& params,
+                                     std::uint64_t updates, std::uint64_t bytes);
 
 }  // namespace saloba::gpusim

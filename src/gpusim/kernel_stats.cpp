@@ -18,6 +18,8 @@ void WarpCounters::merge(const WarpCounters& other) {
   dp_cells_skipped += other.dp_cells_skipped;
   traceback_cells += other.traceback_cells;
   traceback_bytes += other.traceback_bytes;
+  chaining_updates += other.chaining_updates;
+  chaining_bytes += other.chaining_bytes;
 }
 
 double WarpCounters::lane_utilization(int warp_size) const {
@@ -46,6 +48,10 @@ std::string KernelStats::summary(int warp_size) const {
   if (totals.dp_cells_skipped > 0) oss << " cells_skipped=" << totals.dp_cells_skipped;
   if (totals.traceback_cells > 0) {
     oss << " tb_cells=" << totals.traceback_cells << " tb_bytes=" << totals.traceback_bytes;
+  }
+  if (totals.chaining_updates > 0) {
+    oss << " chain_updates=" << totals.chaining_updates
+        << " chain_bytes=" << totals.chaining_bytes;
   }
   return oss.str();
 }

@@ -33,6 +33,15 @@ struct WarpCounters {
   /// walk reads) — charged to DRAM by the traceback time model, not to the
   /// score pass's global_bytes counters.
   std::uint64_t traceback_bytes = 0;
+  /// Chaining phase (batched forward-only chaining): push + settlement
+  /// candidates the engine evaluated. Structural counts — deterministic
+  /// across ISAs and thread placements — kept separate from dp_cells so
+  /// extension accounting is untouched.
+  std::uint64_t chaining_updates = 0;
+  /// Chaining phase memory traffic (SoA anchor-column streams plus
+  /// score/parent read-modify-writes) — charged to DRAM by the chaining time
+  /// model only.
+  std::uint64_t chaining_bytes = 0;
 
   void merge(const WarpCounters& other);
 

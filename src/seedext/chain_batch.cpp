@@ -1,0 +1,156 @@
+#include "seedext/chain_batch.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace saloba::seedext {
+
+namespace {
+
+// The int32 push kernel's exactness envelope (see ChainBatch::task_simd_safe):
+// positions and diagonals stay well inside int32, Σlen bounds every chain
+// score, and max_gap·gap_cost_num bounds every penalty, so no eligible-lane
+// intermediate can wrap.
+constexpr std::int64_t kMaxPos = std::int64_t{1} << 30;
+constexpr std::int64_t kMaxLen = std::int64_t{1} << 20;
+constexpr std::int64_t kMaxScoreSum = std::int64_t{1} << 28;
+constexpr std::int64_t kMaxPenalty = std::int64_t{1} << 28;
+
+}  // namespace
+
+std::size_t ChainBatch::add_task(std::vector<Seed> seeds) {
+  sort_seeds(seeds);
+  const std::size_t t = tasks();
+  const std::size_t n = seeds.size();
+
+  std::int64_t len_sum = 0;
+  std::int64_t max_len = 0;
+  bool safe = params_.gap_cost_num >= 0 && params_.max_gap >= 0 &&
+              params_.max_diag_drift >= 0 &&
+              static_cast<std::int64_t>(params_.gap_cost_num) *
+                      std::max<std::int64_t>(params_.max_gap, 1) <
+                  kMaxPenalty &&
+              n < static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max());
+  for (const Seed& seed : seeds) {
+    qpos_.push_back(static_cast<std::int32_t>(seed.qpos));
+    rpos_.push_back(static_cast<std::int32_t>(seed.rpos));
+    len_.push_back(static_cast<std::int32_t>(seed.len));
+    diag_.push_back(static_cast<std::int32_t>(static_cast<std::int64_t>(seed.rpos) -
+                                              static_cast<std::int64_t>(seed.qpos)));
+    len_sum += seed.len;
+    max_len = std::max<std::int64_t>(max_len, seed.len);
+    safe &= seed.qpos < kMaxPos && seed.rpos < kMaxPos && seed.len >= 1 &&
+            seed.len < kMaxLen;
+  }
+  safe &= len_sum < kMaxScoreSum;
+  first_.push_back(qpos_.size());
+  simd_safe_.push_back(safe ? 1 : 0);
+
+  // Scalar-DP candidate count under the qpos-window early exit: for each
+  // anchor i, predecessors scanned are those j < i with
+  // qpos[j] >= qpos[i] - max_gap - max_len. Two-pointer, O(n) amortized.
+  std::size_t work = 0;
+  {
+    const std::span<const std::int32_t> q = task_qpos(t);
+    std::size_t lo = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t qmin =
+          static_cast<std::int64_t>(q[i]) - params_.max_gap - max_len;
+      while (lo < i && static_cast<std::int64_t>(q[lo]) < qmin) ++lo;
+      work += i - lo;
+    }
+  }
+  work_.push_back(work);
+  return t;
+}
+
+std::vector<Seed> ChainBatch::task_seeds(std::size_t t) const {
+  const std::size_t n = task_size(t);
+  std::vector<Seed> seeds(n);
+  const auto q = task_qpos(t);
+  const auto r = task_rpos(t);
+  const auto l = task_len(t);
+  for (std::size_t i = 0; i < n; ++i) {
+    seeds[i] = Seed{static_cast<std::uint32_t>(q[i]), static_cast<std::uint32_t>(r[i]),
+                    static_cast<std::uint32_t>(l[i])};
+  }
+  return seeds;
+}
+
+bool ChainBatch::task_simd_safe(std::size_t t) const { return simd_safe_[t] != 0; }
+
+std::vector<ChainShard> make_chain_shards(const ChainBatch& batch,
+                                          const std::vector<double>& lane_weights,
+                                          std::size_t max_shard_tasks) {
+  SALOBA_CHECK_MSG(!lane_weights.empty(), "make_chain_shards: need at least one lane");
+  for (double w : lane_weights) {
+    SALOBA_CHECK_MSG(w > 0.0, "make_chain_shards: lane weights must be positive");
+  }
+  const std::size_t lanes = lane_weights.size();
+  const std::size_t n = batch.tasks();
+
+  // Descending work order (index tie-break for determinism): the
+  // "approximate sorting" discipline — capped runs then hold like-cost
+  // tasks, and LPT sees the big tasks first.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (batch.task_work(a) != batch.task_work(b)) {
+      return batch.task_work(a) > batch.task_work(b);
+    }
+    return a < b;
+  });
+
+  // Cut the order into runs of at most max_shard_tasks (0 = still one run
+  // per task for per-task LPT placement onto one shard per lane).
+  std::vector<ChainShard> shards;
+  std::vector<double> load(lanes, 0.0);
+  auto best_lane = [&](double work) {
+    std::size_t best = 0;
+    double best_finish = (load[0] + work) / lane_weights[0];
+    for (std::size_t l = 1; l < lanes; ++l) {
+      const double finish = (load[l] + work) / lane_weights[l];
+      if (finish < best_finish) {
+        best_finish = finish;
+        best = l;
+      }
+    }
+    return best;
+  };
+
+  if (max_shard_tasks == 0) {
+    // One shard per lane; tasks placed individually by weighted LPT.
+    shards.resize(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) shards[l].lane = static_cast<int>(l);
+    for (std::size_t idx : order) {
+      const double work = static_cast<double>(std::max<std::size_t>(batch.task_work(idx), 1));
+      const std::size_t l = best_lane(work);
+      shards[l].tasks.push_back(idx);
+      shards[l].work += batch.task_work(idx);
+      load[l] += work;
+    }
+  } else {
+    for (std::size_t pos = 0; pos < n; pos += max_shard_tasks) {
+      ChainShard shard;
+      const std::size_t end = std::min(n, pos + max_shard_tasks);
+      double work = 0.0;
+      for (std::size_t k = pos; k < end; ++k) {
+        shard.tasks.push_back(order[k]);
+        shard.work += batch.task_work(order[k]);
+        work += static_cast<double>(std::max<std::size_t>(batch.task_work(order[k]), 1));
+      }
+      const std::size_t l = best_lane(work);
+      shard.lane = static_cast<int>(l);
+      load[l] += work;
+      shards.push_back(std::move(shard));
+    }
+  }
+
+  std::erase_if(shards, [](const ChainShard& s) { return s.tasks.empty(); });
+  return shards;
+}
+
+}  // namespace saloba::seedext

@@ -7,21 +7,36 @@
 
 namespace saloba::seedext {
 
-std::vector<Chain> chain_seeds(std::vector<Seed> seeds, const ChainingParams& params) {
-  std::vector<Chain> chains;
-  if (seeds.empty()) return chains;
-
+void sort_seeds(std::vector<Seed>& seeds) {
   std::sort(seeds.begin(), seeds.end(), [](const Seed& a, const Seed& b) {
     if (a.qpos != b.qpos) return a.qpos < b.qpos;
     return a.rpos < b.rpos;
   });
+}
 
+void chain_dp(std::span<const Seed> seeds, const ChainingParams& params,
+              std::span<std::int64_t> score, std::span<std::int32_t> parent) {
   const std::size_t s = seeds.size();
-  std::vector<std::int64_t> score(s);
-  std::vector<std::int64_t> parent(s, -1);
+  SALOBA_CHECK_MSG(score.size() == s && parent.size() == s,
+               "chain_dp: score/parent spans must match the seed count");
+
+  // A predecessor j of seed i satisfies qpos[j] + len[j] <= qpos[i] and
+  // qpos[i] - (qpos[j] + len[j]) <= max_gap, hence
+  // qpos[j] >= qpos[i] - max_gap - len[j] >= qpos[i] - max_gap - max_len.
+  // Seeds are sorted by qpos, so the scan window's lower bound `lo` only
+  // moves forward as i advances: on dense seed sets the DP is bounded by the
+  // seeds inside one max_gap window per anchor instead of O(s^2).
+  std::int64_t max_len = 0;
+  for (const Seed& seed : seeds) max_len = std::max<std::int64_t>(max_len, seed.len);
+
+  std::size_t lo = 0;
   for (std::size_t i = 0; i < s; ++i) {
     score[i] = seeds[i].len;
-    for (std::size_t j = 0; j < i; ++j) {
+    parent[i] = -1;
+    const std::int64_t qmin =
+        static_cast<std::int64_t>(seeds[i].qpos) - params.max_gap - max_len;
+    while (lo < i && static_cast<std::int64_t>(seeds[lo].qpos) < qmin) ++lo;
+    for (std::size_t j = lo; j < i; ++j) {
       // Seed j must end strictly before seed i begins on both axes.
       std::int64_t qgap = static_cast<std::int64_t>(seeds[i].qpos) -
                           (static_cast<std::int64_t>(seeds[j].qpos) + seeds[j].len);
@@ -31,22 +46,36 @@ std::vector<Chain> chain_seeds(std::vector<Seed> seeds, const ChainingParams& pa
       if (qgap > params.max_gap || rgap > params.max_gap) continue;
       std::int64_t drift = std::llabs(seeds[i].diagonal() - seeds[j].diagonal());
       if (drift > params.max_diag_drift) continue;
-      std::int64_t gap_penalty = static_cast<std::int64_t>(
-          params.gap_cost * static_cast<double>(std::max(qgap, rgap)));
-      std::int64_t cand = score[j] + seeds[i].len - gap_penalty;
+      std::int64_t cand = score[j] + seeds[i].len -
+                          chain_gap_penalty(std::max(qgap, rgap), params.gap_cost_num);
+      // Strict >: ties keep the earliest predecessor j, the tie-break every
+      // implementation (and the batched engine's settlement merge) must match.
       if (cand > score[i]) {
         score[i] = cand;
-        parent[i] = static_cast<std::int64_t>(j);
+        parent[i] = static_cast<std::int32_t>(j);
       }
     }
   }
+}
+
+std::vector<Chain> collect_chains(std::span<const Seed> seeds,
+                                  std::span<const std::int64_t> score,
+                                  std::span<const std::int32_t> parent,
+                                  const ChainingParams& params) {
+  std::vector<Chain> chains;
+  const std::size_t s = seeds.size();
+  if (s == 0) return chains;
 
   // Collect chain endpoints best-first; mark used seeds so returned chains
-  // are reasonably distinct.
+  // are reasonably distinct. Ties break toward the earlier endpoint index so
+  // the ordering (and therefore which chains survive top_n) is deterministic
+  // across std::sort implementations.
   std::vector<std::size_t> order(s);
   for (std::size_t i = 0; i < s; ++i) order[i] = i;
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) { return score[a] > score[b]; });
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return a < b;
+  });
   std::vector<bool> used(s, false);
   const std::int64_t best_score = score[order[0]];
 
@@ -61,7 +90,12 @@ std::vector<Chain> chain_seeds(std::vector<Seed> seeds, const ChainingParams& pa
     chain.score = score[idx];
     std::int64_t cur = static_cast<std::int64_t>(idx);
     while (cur >= 0) {
-      if (used[static_cast<std::size_t>(cur)]) break;  // merged into a better chain
+      if (used[static_cast<std::size_t>(cur)]) {
+        // Merged into a better chain: the remaining prefix belongs to it, so
+        // this chain is only the suffix of its DP path.
+        chain.truncated = true;
+        break;
+      }
       used[static_cast<std::size_t>(cur)] = true;
       chain.seeds.push_back(seeds[static_cast<std::size_t>(cur)]);
       cur = parent[static_cast<std::size_t>(cur)];
@@ -70,6 +104,15 @@ std::vector<Chain> chain_seeds(std::vector<Seed> seeds, const ChainingParams& pa
     if (!chain.seeds.empty()) chains.push_back(std::move(chain));
   }
   return chains;
+}
+
+std::vector<Chain> chain_seeds(std::vector<Seed> seeds, const ChainingParams& params) {
+  if (seeds.empty()) return {};
+  sort_seeds(seeds);
+  std::vector<std::int64_t> score(seeds.size());
+  std::vector<std::int32_t> parent(seeds.size());
+  chain_dp(seeds, params, score, parent);
+  return collect_chains(seeds, score, parent, params);
 }
 
 }  // namespace saloba::seedext

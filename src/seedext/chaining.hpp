@@ -1,7 +1,16 @@
 // Seed chaining: combine colinear seeds into candidate alignments
-// (BWA-MEM-style O(s²) dynamic-programming chaining with gap penalties).
+// (BWA-MEM-style dynamic-programming chaining with gap penalties).
+//
+// `chain_seeds` is the sequential conformance oracle; the batched,
+// scheduler-orchestrated phase (seedext/chain_engine.hpp, run through
+// core::BatchScheduler::chain) is bit-identical to it by construction: both
+// share this header's canonical anchor order (sort_seeds), scalar DP
+// (chain_dp) and endpoint collection (collect_chains), and every arithmetic
+// step is integer-exact, so results cannot drift across compilers or ISAs.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "seedext/seeding.hpp"
@@ -11,22 +20,73 @@ namespace saloba::seedext {
 struct Chain {
   std::vector<Seed> seeds;  ///< colinear, sorted by query position
   std::int64_t score = 0;   ///< Σ seed lengths − gap costs
+  /// The backtrack stopped at a seed already claimed by a better chain: the
+  /// listed seeds are only the unclaimed suffix of the DP-optimal path, and
+  /// `score` (the full path's DP score) exceeds what the listed seeds alone
+  /// recompute to. Callers ranking or re-scoring chains can now tell such a
+  /// stub from a genuinely complete chain.
+  bool truncated = false;
 
   const Seed& first() const { return seeds.front(); }
   const Seed& last() const { return seeds.back(); }
+
+  bool operator==(const Chain&) const = default;
 };
+
+/// Fixed-point denominator shift of ChainingParams::gap_cost_num: gap
+/// penalties are (gap * gap_cost_num) >> kGapCostShift, integer-exact.
+inline constexpr int kGapCostShift = 10;
 
 struct ChainingParams {
   std::int64_t max_gap = 10000;       ///< max query/ref gap between seeds
   std::int64_t max_diag_drift = 500;  ///< max |Δdiagonal| between seeds
-  double gap_cost = 0.15;             ///< per-base gap penalty in chain score
+  /// Per-base gap penalty in fixed-point units of 1/1024 (2^-kGapCostShift):
+  /// penalty = (gap * gap_cost_num) >> kGapCostShift. The default 154/1024
+  /// ≈ 0.15 is the historical per-base cost; integer arithmetic (no double
+  /// multiply) keeps batched-vs-sequential conformance bit-identical across
+  /// compilers and FP environments.
+  std::int32_t gap_cost_num = 154;
   std::size_t top_n = 4;              ///< chains returned, best first
   /// Chains scoring below best*drop_ratio are discarded.
   double drop_ratio = 0.5;
 };
 
+/// The integer-exact per-link gap penalty every chaining implementation
+/// (oracle, batched engine, SIMD kernel) applies. `gap >= 0`.
+inline std::int64_t chain_gap_penalty(std::int64_t gap, std::int32_t gap_cost_num) {
+  return (gap * gap_cost_num) >> kGapCostShift;
+}
+
+/// Canonical anchor order of every chaining implementation: (qpos, rpos)
+/// ascending. The DP's predecessor scan, its tie-breaks, and the qpos-window
+/// early exit are all defined over this order.
+void sort_seeds(std::vector<Seed>& seeds);
+
+/// Scalar chaining DP over seeds already in sort_seeds order: fills
+/// score[i] (best chain score ending at seed i) and parent[i] (its
+/// predecessor, -1 for chain starts). The predecessor scan early-exits below
+/// the qpos window qpos[i] - max_gap - max(len): seeds before it can never
+/// satisfy the gap constraint, so on dense seed sets the scan is bounded by
+/// the seeds inside one max_gap window instead of being quadratic in s.
+/// This is the conformance oracle's core and the batched engine's exact
+/// settlement/fallback path.
+void chain_dp(std::span<const Seed> seeds, const ChainingParams& params,
+              std::span<std::int64_t> score, std::span<std::int32_t> parent);
+
+/// Best-first endpoint collection over a filled DP: up to top_n chains,
+/// best score first (ties broken toward the earlier endpoint, so the output
+/// is deterministic across library implementations), chains below
+/// best*drop_ratio dropped, seeds claimed by a better chain end the
+/// backtrack (Chain::truncated records when that happened). Shared by the
+/// oracle and the batched engine so the two cannot diverge.
+std::vector<Chain> collect_chains(std::span<const Seed> seeds,
+                                  std::span<const std::int64_t> score,
+                                  std::span<const std::int32_t> parent,
+                                  const ChainingParams& params);
+
 /// Returns up to top_n chains, best score first. Seeds may be shared
-/// between chains (as in BWA-MEM before deduplication).
+/// between chains (as in BWA-MEM before deduplication). The sequential
+/// reference implementation — sort_seeds + chain_dp + collect_chains.
 std::vector<Chain> chain_seeds(std::vector<Seed> seeds, const ChainingParams& params);
 
 }  // namespace saloba::seedext

@@ -54,14 +54,25 @@ ReadMapper::PreparedRead ReadMapper::prepare(std::span<const seq::BaseCode> read
   std::vector<seq::BaseCode> rc =
       seq::reverse_complement(std::vector<seq::BaseCode>(read.begin(), read.end()));
   StrandResult rev = analyze(rc);
+  return prepare_from_chains(read, rc, fwd.chains, rev.chains);
+}
 
-  pre.use_rev = rev.coverage > fwd.coverage;
-  const StrandResult& chosen = pre.use_rev ? rev : fwd;
-  std::span<const seq::BaseCode> oriented =
-      pre.use_rev ? std::span<const seq::BaseCode>(rc) : read;
-  if (chosen.chains.empty()) return pre;
+ReadMapper::PreparedRead ReadMapper::prepare_from_chains(
+    std::span<const seq::BaseCode> read, std::span<const seq::BaseCode> rc,
+    const std::vector<Chain>& fwd, const std::vector<Chain>& rev) const {
+  PreparedRead pre;
+  if (read.empty()) return pre;
 
-  const Chain& best = chosen.chains.front();
+  // Strand choice by best chain score — identical to the per-read analyze()
+  // comparison (collect_chains emits best-first).
+  const std::int64_t fwd_cov = fwd.empty() ? 0 : fwd.front().score;
+  const std::int64_t rev_cov = rev.empty() ? 0 : rev.front().score;
+  pre.use_rev = rev_cov > fwd_cov;
+  const std::vector<Chain>& chosen = pre.use_rev ? rev : fwd;
+  std::span<const seq::BaseCode> oriented = pre.use_rev ? rc : read;
+  if (chosen.empty()) return pre;
+
+  const Chain& best = chosen.front();
   pre.has_chain = true;
   pre.anchor = best.first();
   pre.jobs = make_extension_jobs(genome_, oriented, best, 0, params_.jobs);
@@ -126,8 +137,8 @@ std::vector<ReadMapping> ReadMapper::map_batch(
 
 std::vector<ReadMapping> ReadMapper::map_batch(
     std::span<const std::vector<seq::BaseCode>> reads, const BatchExtender& extend,
-    const TracedBatchExtender& trace) const {
-  std::vector<ReadMapping> out = map_batch(reads, extend);
+    const TracedBatchExtender& trace, ChainStageStats* chain_stats) const {
+  std::vector<ReadMapping> out = map_batch(reads, extend, chain_stats);
   attach_tracebacks(reads, out, trace);
   return out;
 }
@@ -182,11 +193,56 @@ void ReadMapper::attach_tracebacks(std::span<const std::vector<seq::BaseCode>> r
 }
 
 std::vector<ReadMapping> ReadMapper::map_batch(
-    std::span<const std::vector<seq::BaseCode>> reads, const BatchExtender& extend) const {
-  // Stage 1 (host-parallel): seeding + chaining + job extraction per read.
+    std::span<const std::vector<seq::BaseCode>> reads, const BatchExtender& extend,
+    ChainStageStats* chain_stats) const {
+  // Stage 1a (host-parallel): seeding, both strands of every read.
+  std::vector<std::vector<seq::BaseCode>> rc(reads.size());
+  std::vector<std::vector<Seed>> fwd_seeds(reads.size());
+  std::vector<std::vector<Seed>> rev_seeds(reads.size());
+  util::parallel_for_indexed(reads.size(), [&](std::size_t i) {
+    if (reads[i].empty()) return;
+    fwd_seeds[i] = seeds_of(reads[i]);
+    rc[i] = seq::reverse_complement(reads[i]);
+    rev_seeds[i] = seeds_of(rc[i]);
+  });
+
+  // Stage 1b: every strand's anchors as one ChainBatch — task 2i is read
+  // i's forward strand, 2i+1 its reverse complement.
+  ChainBatch chain_batch(params_.chaining);
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    chain_batch.add_task(std::move(fwd_seeds[i]));
+    chain_batch.add_task(std::move(rev_seeds[i]));
+  }
+
+  // Stage 1c: the batched chaining phase — the injected scheduler-backed
+  // chainer when set, the in-process SIMD engine otherwise. Either is
+  // bit-identical to the sequential chain_seeds the per-read path runs.
+  ChainStageResult chained;
+  if (chainer_) {
+    chained = chainer_(chain_batch);
+  } else {
+    ChainEngineStats engine_stats;
+    chained.chains = chain_batch_run(chain_batch, &engine_stats);
+    chained.chaining_ms = engine_stats.wall_ms;
+    chained.anchors = engine_stats.anchors;
+    chained.updates = engine_stats.pushes + engine_stats.settled;
+  }
+  SALOBA_CHECK_MSG(chained.chains.size() == chain_batch.tasks(),
+                   "chainer returned " << chained.chains.size() << " chain lists for "
+                                       << chain_batch.tasks() << " tasks");
+  if (chain_stats) {
+    chain_stats->chaining_ms = chained.chaining_ms;
+    chain_stats->tasks = chain_batch.tasks();
+    chain_stats->anchors = chained.anchors;
+    chain_stats->updates = chained.updates;
+  }
+
+  // Stage 1d (host-parallel): strand choice + job extraction per read.
   std::vector<PreparedRead> prepared(reads.size());
-  util::parallel_for_indexed(reads.size(),
-                             [&](std::size_t i) { prepared[i] = prepare(reads[i]); });
+  util::parallel_for_indexed(reads.size(), [&](std::size_t i) {
+    prepared[i] = prepare_from_chains(reads[i], rc[i], chained.chains[2 * i],
+                                      chained.chains[2 * i + 1]);
+  });
 
   // Stage 2: one kernel-sized batch of every read's jobs, in read order.
   std::vector<ExtensionJob> jobs;
@@ -250,13 +306,17 @@ StreamMapStats run_map_stream(
       std::vector<std::vector<seq::BaseCode>> read_seqs;
       read_seqs.reserve(chunk->records.size());
       for (const auto& r : chunk->records) read_seqs.push_back(r.bases);
-      auto mappings = trace ? mapper.map_batch(read_seqs, extend, *trace)
-                            : mapper.map_batch(read_seqs, extend);
+      ChainStageStats chunk_chaining;
+      auto mappings = trace ? mapper.map_batch(read_seqs, extend, *trace, &chunk_chaining)
+                            : mapper.map_batch(read_seqs, extend, &chunk_chaining);
       for (std::size_t i = 0; i < mappings.size(); ++i) {
         stats.mapped += mappings[i].mapped ? 1 : 0;
         if (sink) sink(chunk->records[i], mappings[i]);
       }
       stats.reads += mappings.size();
+      stats.chaining_ms += chunk_chaining.chaining_ms;
+      stats.chain_anchors += chunk_chaining.anchors;
+      stats.chain_updates += chunk_chaining.updates;
       ++stats.chunks;
     }
   } catch (...) {

@@ -12,6 +12,8 @@
 
 #include "align/alignment_result.hpp"
 #include "align/scoring.hpp"
+#include "seedext/chain_batch.hpp"
+#include "seedext/chain_engine.hpp"
 #include "seedext/chaining.hpp"
 #include "seedext/extension_jobs.hpp"
 #include "seedext/fm_index.hpp"
@@ -54,6 +56,21 @@ struct StreamMapStats {
   std::size_t mapped = 0;
   std::size_t chunks = 0;
   double wall_ms = 0.0;
+  /// Chaining-stage time summed over chunks (batched phase makespan when a
+  /// BatchChainer is injected, in-process engine wall time otherwise); kept
+  /// out of wall_ms accounting so the stream reports the phase split the
+  /// same way AlignOutput splits score/traceback.
+  double chaining_ms = 0.0;
+  std::size_t chain_anchors = 0;  ///< anchors chained over the whole stream
+  std::size_t chain_updates = 0;  ///< push + settlement candidates evaluated
+};
+
+/// What the batched chaining stage of one map_batch call produced/spent.
+struct ChainStageStats {
+  double chaining_ms = 0.0;
+  std::size_t tasks = 0;    ///< strand tasks chained (2 per non-empty read)
+  std::size_t anchors = 0;  ///< seeds across those tasks
+  std::size_t updates = 0;  ///< push + settlement candidates evaluated
 };
 
 /// A batch extension engine: aligns every (query, reference) pair of a
@@ -73,6 +90,23 @@ using BatchExtender =
 using TracedBatchExtender =
     std::function<std::vector<align::TracedAlignment>(const seq::PairBatch&)>;
 
+/// What a batched chaining engine returns: one chain list per ChainBatch
+/// task id, plus the phase's time/counter accounting.
+struct ChainStageResult {
+  std::vector<std::vector<Chain>> chains;
+  double chaining_ms = 0.0;
+  std::size_t anchors = 0;
+  std::size_t updates = 0;  ///< push + settlement candidates evaluated
+};
+
+/// A batched chaining engine: chains every task of a ChainBatch.
+/// core::Aligner::batch_chainer() adapts the scheduler-orchestrated phase
+/// (BatchScheduler::chain — weighted-LPT task shards across backend lanes,
+/// the SIMD forward-only kernel per task) to this signature; a null chainer
+/// makes the mapper run the in-process engine host-parallel. Either path is
+/// bit-identical to sequential chain_seeds per task.
+using BatchChainer = std::function<ChainStageResult(const ChainBatch&)>;
+
 class ReadMapper {
  public:
   ReadMapper(std::vector<seq::BaseCode> genome, MapperParams params);
@@ -89,13 +123,25 @@ class ReadMapper {
   std::vector<ReadMapping> map_batch(
       std::span<const std::vector<seq::BaseCode>> reads) const;
 
+  /// Routes the chaining stage of every batched mapping call through
+  /// `chainer` (e.g. core::Aligner::batch_chainer()) instead of the
+  /// in-process engine. Mappings are unchanged — every BatchChainer is
+  /// bit-identical to the sequential oracle — only the execution (lanes,
+  /// shards, simulated-device accounting) moves. Null restores the default.
+  void set_batch_chainer(BatchChainer chainer) { chainer_ = std::move(chainer); }
+
   /// Batch mapping with the extension stage routed through `extend`: all
   /// reads' extension jobs are gathered into one kernel-sized PairBatch and
   /// aligned in a single call (the paper's batched seed-extension shape)
-  /// instead of per-job CPU alignments. Mappings are identical to
-  /// map_batch(reads) for any extender that matches the CPU reference.
+  /// instead of per-job CPU alignments. Both strands of every read are
+  /// chained first as one ChainBatch through the batched chaining stage
+  /// (set_batch_chainer, or the in-process SIMD engine); `chain_stats`, when
+  /// non-null, receives that stage's time and counters. Mappings are
+  /// identical to map_batch(reads) for any extender that matches the CPU
+  /// reference.
   std::vector<ReadMapping> map_batch(std::span<const std::vector<seq::BaseCode>> reads,
-                                     const BatchExtender& extend) const;
+                                     const BatchExtender& extend,
+                                     ChainStageStats* chain_stats = nullptr) const;
 
   /// Batched mapping with the traceback phase attached: after the extension
   /// stage, every mapped read's (oriented read, genome window) pair is
@@ -104,7 +150,8 @@ class ReadMapper {
   /// CIGAR SAM emission needs — no per-read DP anywhere downstream.
   std::vector<ReadMapping> map_batch(std::span<const std::vector<seq::BaseCode>> reads,
                                      const BatchExtender& extend,
-                                     const TracedBatchExtender& trace) const;
+                                     const TracedBatchExtender& trace,
+                                     ChainStageStats* chain_stats = nullptr) const;
 
   /// The traceback stage of the batched path, exposed for callers that
   /// already hold mappings: fills `traced`/`has_traceback` of every mapped
@@ -180,6 +227,13 @@ class ReadMapper {
     std::vector<ExtensionJob> jobs;
   };
   PreparedRead prepare(std::span<const seq::BaseCode> read) const;
+  /// The strand-choice + job-extraction tail of prepare, over already
+  /// computed per-strand chains — shared by the per-read path and the
+  /// batched chaining stage so the two agree by construction.
+  PreparedRead prepare_from_chains(std::span<const seq::BaseCode> read,
+                                   std::span<const seq::BaseCode> rc,
+                                   const std::vector<Chain>& fwd,
+                                   const std::vector<Chain>& rev) const;
   static ReadMapping finalize(const PreparedRead& pre,
                               std::span<const align::AlignmentResult> job_results);
 
@@ -187,6 +241,7 @@ class ReadMapper {
   MapperParams params_;
   std::unique_ptr<KmerIndex> kmer_index_;
   std::unique_ptr<FmIndex> fm_index_;
+  BatchChainer chainer_;  ///< null = in-process chain engine
 };
 
 }  // namespace saloba::seedext

@@ -2,8 +2,47 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 namespace saloba::seedext {
 namespace {
+
+/// Deterministic clustered seed generator: anchors scattered around a few
+/// diagonals, the shape real seeding produces (dense colinear runs plus
+/// off-diagonal noise).
+std::vector<Seed> random_anchor_set(std::mt19937& rng, std::size_t n,
+                                    std::uint32_t qspan = 2000,
+                                    std::uint32_t diag_spread = 300,
+                                    std::uint32_t max_len = 40) {
+  std::uniform_int_distribution<std::uint32_t> qdist(0, qspan);
+  std::uniform_int_distribution<std::uint32_t> ddist(0, diag_spread);
+  std::uniform_int_distribution<std::uint32_t> ldist(1, max_len);
+  std::vector<Seed> seeds;
+  seeds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t qpos = qdist(rng);
+    seeds.push_back(Seed{qpos, 10000 + qpos + ddist(rng), ldist(rng)});
+  }
+  return seeds;
+}
+
+/// Recomputes a chain's score from its seeds alone — the invariant
+/// collect_chains' backtrack must preserve for full (non-truncated) chains.
+std::int64_t recompute_score(const Chain& chain, const ChainingParams& params) {
+  std::int64_t score = chain.seeds.front().len;
+  for (std::size_t i = 1; i < chain.seeds.size(); ++i) {
+    const Seed& prev = chain.seeds[i - 1];
+    const Seed& cur = chain.seeds[i];
+    const std::int64_t qgap =
+        static_cast<std::int64_t>(cur.qpos) - (static_cast<std::int64_t>(prev.qpos) + prev.len);
+    const std::int64_t rgap =
+        static_cast<std::int64_t>(cur.rpos) - (static_cast<std::int64_t>(prev.rpos) + prev.len);
+    score += static_cast<std::int64_t>(cur.len) -
+             chain_gap_penalty(std::max(qgap, rgap), params.gap_cost_num);
+  }
+  return score;
+}
 
 TEST(Chaining, ColinearSeedsFormOneChain) {
   std::vector<Seed> seeds{{0, 1000, 30}, {40, 1040, 30}, {80, 1080, 30}};
@@ -82,6 +121,141 @@ TEST(Chaining, MaxGapPreventsChaining) {
   std::vector<Seed> seeds{{0, 1000, 30}, {200, 1200, 30}};  // gap 170 > 50
   auto chains = chain_seeds(seeds, params);
   for (const auto& c : chains) EXPECT_EQ(c.seeds.size(), 1u);
+}
+
+// --- Integer-exact gap penalties -----------------------------------------
+
+TEST(Chaining, GapPenaltyIsFixedPointExact) {
+  // (gap * num) >> kGapCostShift, no floating point anywhere.
+  EXPECT_EQ(chain_gap_penalty(0, 154), 0);
+  EXPECT_EQ(chain_gap_penalty(1, 154), 0);       // 154 >> 10
+  EXPECT_EQ(chain_gap_penalty(7, 154), 1);       // 1078 >> 10
+  EXPECT_EQ(chain_gap_penalty(1000, 154), 150);  // 154000 >> 10 = floor(150.39)
+  EXPECT_EQ(chain_gap_penalty(1 << 20, 154), (static_cast<std::int64_t>(154) << 20) >> 10);
+  // The default numerator approximates the old 0.15 slope to < 1%.
+  const double slope = 154.0 / (1 << kGapCostShift);
+  EXPECT_NEAR(slope, 0.15, 0.0005);
+}
+
+// --- Sorted-qpos early exit ----------------------------------------------
+
+TEST(Chaining, WindowedDpMatchesFullScan) {
+  // The monotone-lo early exit in chain_dp must be invisible: a brute-force
+  // reference scanning every j < i produces the same scores and parents.
+  std::mt19937 rng(20260808);
+  for (int rep = 0; rep < 20; ++rep) {
+    auto seeds = random_anchor_set(rng, 150);
+    sort_seeds(seeds);
+    ChainingParams params;
+    params.max_gap = 200;  // small window → the early exit actually fires
+
+    std::vector<std::int64_t> score(seeds.size());
+    std::vector<std::int32_t> parent(seeds.size());
+    chain_dp(seeds, params, score, parent);
+
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      std::int64_t best = seeds[i].len;
+      std::int32_t from = -1;
+      for (std::size_t j = 0; j < i; ++j) {
+        const std::int64_t qgap = static_cast<std::int64_t>(seeds[i].qpos) -
+                                  (static_cast<std::int64_t>(seeds[j].qpos) + seeds[j].len);
+        const std::int64_t rgap = static_cast<std::int64_t>(seeds[i].rpos) -
+                                  (static_cast<std::int64_t>(seeds[j].rpos) + seeds[j].len);
+        if (qgap < 0 || rgap < 0 || qgap > params.max_gap || rgap > params.max_gap) continue;
+        if (std::abs(seeds[i].diagonal() - seeds[j].diagonal()) > params.max_diag_drift) {
+          continue;
+        }
+        const std::int64_t cand =
+            score[j] + seeds[i].len -
+            chain_gap_penalty(std::max(qgap, rgap), params.gap_cost_num);
+        if (cand > best) {
+          best = cand;
+          from = static_cast<std::int32_t>(j);
+        }
+      }
+      ASSERT_EQ(score[i], best) << "anchor " << i;
+      ASSERT_EQ(parent[i], from) << "anchor " << i;
+    }
+  }
+}
+
+// --- Truncation flag ------------------------------------------------------
+
+TEST(Chaining, SharedPrefixMarksTruncated) {
+  // A (0,1000,50) feeds both B (best chain) and C; after the best chain
+  // claims A, C's backtrack stops there and must say so.
+  ChainingParams params;
+  params.drop_ratio = 0.5;
+  std::vector<Seed> seeds{{0, 1000, 50}, {60, 1060, 50}, {60, 1070, 30}};
+  auto chains = chain_seeds(seeds, params);
+  ASSERT_EQ(chains.size(), 2u);
+  EXPECT_FALSE(chains[0].truncated);
+  EXPECT_EQ(chains[0].seeds.size(), 2u);
+  EXPECT_TRUE(chains[1].truncated);
+  EXPECT_EQ(chains[1].seeds.size(), 1u);
+  EXPECT_EQ(chains[1].first().rpos, 1070u);
+  // The recorded score is still the DP endpoint score (includes the shared
+  // prefix), strictly above what the surviving seeds alone produce.
+  EXPECT_GT(chains[1].score, recompute_score(chains[1], params));
+}
+
+TEST(Chaining, DisjointChainsAreNotTruncated) {
+  ChainingParams params;
+  params.drop_ratio = 0.0;
+  std::vector<Seed> seeds{{0, 1000, 30}, {40, 1040, 30}, {0, 50000, 30}, {40, 50040, 30}};
+  auto chains = chain_seeds(seeds, params);
+  ASSERT_EQ(chains.size(), 2u);
+  for (const auto& c : chains) {
+    EXPECT_FALSE(c.truncated);
+    EXPECT_EQ(c.seeds.size(), 2u);
+  }
+}
+
+// --- Chain invariants under fuzz -----------------------------------------
+
+TEST(Chaining, PropertyInvariantsHoldUnderFuzz) {
+  std::mt19937 rng(777);
+  std::uniform_int_distribution<int> ndist(1, 250);
+  for (int rep = 0; rep < 60; ++rep) {
+    ChainingParams params;
+    params.max_gap = 100 + rep * 17 % 400;
+    params.max_diag_drift = 50 + rep * 31 % 300;
+    params.top_n = 1 + rep % 5;
+    params.drop_ratio = (rep % 3) * 0.4;
+    auto seeds = random_anchor_set(rng, static_cast<std::size_t>(ndist(rng)));
+    auto chains = chain_seeds(seeds, params);
+
+    EXPECT_LE(chains.size(), params.top_n);
+    const std::int64_t best = chains.empty() ? 0 : chains.front().score;
+    for (const Chain& c : chains) {
+      ASSERT_FALSE(c.seeds.empty());
+      // Ranked best-first, none below the drop ratio.
+      EXPECT_LE(c.score, best);
+      EXPECT_GE(static_cast<double>(c.score), params.drop_ratio * static_cast<double>(best));
+      for (std::size_t i = 1; i < c.seeds.size(); ++i) {
+        const Seed& prev = c.seeds[i - 1];
+        const Seed& cur = c.seeds[i];
+        // Colinear and non-overlapping on both axes…
+        const std::int64_t qgap = static_cast<std::int64_t>(cur.qpos) -
+                                  (static_cast<std::int64_t>(prev.qpos) + prev.len);
+        const std::int64_t rgap = static_cast<std::int64_t>(cur.rpos) -
+                                  (static_cast<std::int64_t>(prev.rpos) + prev.len);
+        EXPECT_GE(qgap, 0);
+        EXPECT_GE(rgap, 0);
+        // …within the gap budget and the diagonal band.
+        EXPECT_LE(qgap, params.max_gap);
+        EXPECT_LE(rgap, params.max_gap);
+        EXPECT_LE(std::abs(cur.diagonal() - prev.diagonal()), params.max_diag_drift);
+      }
+      // Score bookkeeping: exact for full chains, never below the surviving
+      // seeds' own contribution for truncated ones.
+      if (c.truncated) {
+        EXPECT_GE(c.score, recompute_score(c, params));
+      } else {
+        EXPECT_EQ(c.score, recompute_score(c, params));
+      }
+    }
+  }
 }
 
 }  // namespace
