@@ -1,0 +1,235 @@
+// Multi-tenant service multiplexing bench: many bursty clients sharing one
+// core::AlignService versus the same total workload pumped through a
+// single-stream StreamAligner. Asserts the properties the service layer
+// promises (exit code 1 on any failure):
+//   - aggregate GCUPS within 95% of the single-stream baseline — continuous
+//     batching across tenants keeps the lanes as full as one big client;
+//   - every client's results bit-identical to its standalone Aligner run;
+//   - per-tenant p99 latency bounded by what the admission/in-flight caps
+//     allow to sit ahead of a pair (backpressure keeps tails finite);
+//   - weighted fair sharing: a weight-3 tenant drains ~3x faster than a
+//     weight-1 tenant contending for the same saturated CPU backend.
+// Emits BENCH_service.json.
+//
+//   $ ./service_mux --quick
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/align_service.hpp"
+#include "core/aligner.hpp"
+#include "core/stream_aligner.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace saloba;
+
+namespace {
+
+// Bimodal lengths (85% short reads, 15% kbp-scale tail) — the skewed regime
+// of dataset B', per client.
+seq::PairBatch skewed_batch(std::size_t pairs, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  seq::PairBatch batch;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    std::size_t len = rng.bernoulli(0.15) ? 600 + rng.below(900) : 40 + rng.below(120);
+    std::vector<seq::BaseCode> q(len), r(len);
+    for (auto& b : q) b = static_cast<seq::BaseCode>(rng.below(4));
+    for (auto& b : r) b = static_cast<seq::BaseCode>(rng.below(4));
+    batch.add(std::move(q), std::move(r));
+  }
+  return batch;
+}
+
+bool check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("service_mux",
+                       "multi-tenant AlignService vs single-stream baseline");
+  args.add_int("clients", "concurrent bursty clients", 8);
+  args.add_int("pairs", "pairs per client", 384);
+  args.add_int("batch", "merged-batch target in pairs", 64);
+  args.add_string("kernel", "simulated kernel", "saloba");
+  args.add_string("device", "simulated device preset", "gtx1650");
+  args.add_flag("quick", "smaller workload (CI smoke run)");
+  if (!args.parse(argc, argv)) return 1;
+
+  const bool quick = args.get_flag("quick");
+  const std::size_t n_clients =
+      quick ? 4 : static_cast<std::size_t>(args.get_int("clients"));
+  const std::size_t per_client =
+      quick ? 128 : static_cast<std::size_t>(args.get_int("pairs"));
+  const std::size_t batch_pairs = static_cast<std::size_t>(args.get_int("batch"));
+
+  core::AlignerOptions opts;
+  opts.backend = core::Backend::kSimulated;
+  opts.kernel = args.get_string("kernel");
+  opts.device = args.get_string("device");
+
+  // --- 1. Single-stream baseline: the union workload, one big client. ----
+  std::vector<seq::PairBatch> client_batches;
+  seq::PairBatch all;
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    client_batches.push_back(skewed_batch(per_client, 33 + c));
+    for (std::size_t i = 0; i < client_batches[c].size(); ++i) {
+      all.add(client_batches[c].queries[i], client_batches[c].refs[i]);
+    }
+  }
+  core::StreamOptions stream;
+  stream.chunk_pairs = batch_pairs;
+  core::StreamAligner streamer(opts, stream);
+  auto baseline = streamer.align_streamed(all);
+
+  // --- 2. The same pairs as bursty concurrent tenants. -------------------
+  core::ServiceOptions svc;
+  svc.batch_pairs = batch_pairs;
+  svc.max_queued_pairs_per_session = 256;  // admission cap: the p99 lever
+  svc.max_inflight_batches = 4;
+  core::AlignService service(opts, svc);
+
+  std::vector<std::vector<align::AlignmentResult>> results(n_clients);
+  util::Timer wall;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    clients.emplace_back([&, c] {
+      core::SessionId id = service.open();
+      // Bursty producer: two merged batches worth per burst, a breather
+      // between bursts — arrivals, not one resident submission.
+      std::thread producer([&, id] {
+        const seq::PairBatch& mine = client_batches[c];
+        const std::size_t burst = 2 * batch_pairs;
+        for (std::size_t at = 0; at < mine.size(); at += burst) {
+          seq::PairBatch chunk;
+          for (std::size_t i = at; i < std::min(at + burst, mine.size()); ++i) {
+            chunk.add(mine.queries[i], mine.refs[i]);
+          }
+          if (!service.submit(id, std::move(chunk))) return;
+          std::this_thread::sleep_for(std::chrono::microseconds(200 * (c % 3)));
+        }
+        service.finish(id);
+      });
+      while (auto span = service.poll(id)) {
+        results[c].insert(results[c].end(), span->results.begin(), span->results.end());
+      }
+      producer.join();
+    });
+  }
+  for (auto& t : clients) t.join();
+  double mux_wall_ms = wall.millis();
+  auto stats = service.stats();
+
+  // --- 3. The promised properties. ---------------------------------------
+  bool ok = true;
+
+  std::size_t identical = 0, total = 0;
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    auto expected = core::Aligner(opts).align(client_batches[c]).results;
+    total += expected.size();
+    if (results[c] == expected) identical += expected.size();
+  }
+  ok &= check(identical == total, "every tenant bit-identical to its standalone run");
+
+  const double gcups_ratio =
+      baseline.gcups > 0 ? stats.gcups / baseline.gcups : 0.0;
+  ok &= check(gcups_ratio >= 0.95, "aggregate GCUPS >= 95% of single-stream baseline");
+
+  // No pair can have more than every session's admitted backlog plus the
+  // in-flight batches ahead of it; allow 4x that drain time plus scheduling
+  // slack before calling a tail unbounded.
+  const double drain_ms_per_pair =
+      stats.pairs > 0 ? stats.batch_wall_ms / static_cast<double>(stats.pairs) : 0.0;
+  const double queueable_pairs =
+      static_cast<double>(n_clients * svc.max_queued_pairs_per_session +
+                          svc.max_inflight_batches * batch_pairs);
+  const double p99_bound_ms = 4.0 * queueable_pairs * drain_ms_per_pair + 50.0;
+  double p99_max = 0.0;
+  for (const auto& [id, ss] : stats.session_stats) {
+    p99_max = std::max(p99_max, ss.p99_latency_ms);
+  }
+  ok &= check(p99_max <= p99_bound_ms, "p99 latency bounded by the backpressure caps");
+
+  // --- 4. Weighted fairness on a saturated CPU backend. ------------------
+  // Equal backlogs, weights 3:1; when the heavy tenant drains, the light
+  // one should have completed roughly a third as much.
+  core::AlignerOptions cpu_opts;
+  core::ServiceOptions fair_svc;
+  fair_svc.batch_pairs = 16;
+  fair_svc.max_inflight_batches = 1;
+  core::AlignService fair(cpu_opts, fair_svc);
+  const std::size_t fair_n = quick ? 192 : 384;
+  core::SessionId blocker = fair.open();
+  // Occupy the worker + in-flight slot so both backlogs are staged before
+  // any fair decision is made (see align_service_test for the mechanics).
+  seq::PairBatch plug = skewed_batch(0, 1);
+  for (std::size_t i = 0; i < 3 * fair_svc.batch_pairs; ++i) {
+    plug.add(std::vector<seq::BaseCode>(1200, 0), std::vector<seq::BaseCode>(1200, 1));
+  }
+  fair.submit(blocker, std::move(plug));
+  fair.finish(blocker);
+  core::SessionOptions heavy_opts;
+  heavy_opts.weight = 3.0;
+  core::SessionId heavy = fair.open(heavy_opts);
+  core::SessionId light = fair.open();
+  auto heavy_work = skewed_batch(fair_n, 91);
+  auto light_work = skewed_batch(fair_n, 92);
+  fair.submit(heavy, heavy_work);
+  fair.submit(light, light_work);
+  fair.finish(heavy);
+  fair.finish(light);
+  while (fair.poll(heavy)) {
+  }
+  auto light_at_drain = fair.session_stats(light);
+  const double fairness_ratio =
+      light_at_drain.completed_pairs > 0
+          ? static_cast<double>(fair_n) /
+                static_cast<double>(light_at_drain.completed_pairs)
+          : 0.0;
+  ok &= check(fairness_ratio >= 1.6 && light_at_drain.completed_pairs >= fair_n / 8,
+              "weight-3 tenant drains ~3x a weight-1 tenant (never starving it)");
+  while (fair.poll(light)) {
+  }
+  while (fair.poll(blocker)) {
+  }
+
+  // --- 5. Report. --------------------------------------------------------
+  util::Table table({"mode", "pairs", "batches", "align ms", "gcups", "wall ms"});
+  table.add_row({"single-stream", std::to_string(all.size()), "-",
+                 util::Table::ms(baseline.time_ms), util::Table::num(baseline.gcups),
+                 "-"});
+  table.add_row({"service mux", std::to_string(stats.pairs),
+                 std::to_string(stats.batches), util::Table::ms(stats.align_ms),
+                 util::Table::num(stats.gcups), util::Table::ms(mux_wall_ms)});
+  std::printf("=== service_mux — %zu clients x %zu pairs, %s@%s, batch %zu ===\n%s",
+              n_clients, per_client, opts.kernel.c_str(), opts.device.c_str(),
+              batch_pairs, table.render().c_str());
+  std::printf("gcups ratio %.3f, p99 max %.2f ms (bound %.2f ms), fairness ratio %.2f "
+              "(light tenant %zu/%zu done at heavy drain)\n",
+              gcups_ratio, p99_max, p99_bound_ms, fairness_ratio,
+              light_at_drain.completed_pairs, fair_n);
+
+  if (std::FILE* f = std::fopen("BENCH_service.json", "w")) {
+    std::fprintf(f,
+                 "{\"bench\":\"service_mux\",\"clients\":%zu,\"pairs\":%zu,"
+                 "\"cells\":%zu,\"batches\":%zu,\"service_gcups\":%.3f,"
+                 "\"stream_gcups\":%.3f,\"gcups_ratio\":%.3f,\"p99_ms_max\":%.3f,"
+                 "\"p99_bound_ms\":%.3f,\"fairness_ratio\":%.3f,\"wall_ms\":%.3f,"
+                 "\"identical\":%s}\n",
+                 n_clients, stats.pairs, stats.cells, stats.batches, stats.gcups,
+                 baseline.gcups, gcups_ratio, p99_max, p99_bound_ms, fairness_ratio,
+                 mux_wall_ms, identical == total ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_service.json\n");
+  }
+
+  return ok ? 0 : 1;
+}

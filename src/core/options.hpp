@@ -122,6 +122,47 @@ struct AlignerOptions {
   int cpu_threads = 0;
 };
 
+/// Per-tenant quality-of-service knobs for one core::AlignService session.
+struct SessionOptions {
+  /// Fair-share weight (> 0): under contention, the continuous batcher
+  /// grants a session batch capacity proportional to its weight within its
+  /// priority class (weighted round-robin over queued work).
+  double weight = 1.0;
+  /// Strict priority class: queued work of a higher class is always batched
+  /// before any lower class; weights arbitrate only within one class.
+  int priority = 0;
+  /// Admission cap in queued (undispatched) pairs, 0 = the service-wide
+  /// default (ServiceOptions::max_queued_pairs_per_session). submit()
+  /// blocks — backpressure, not unbounded memory — while the session
+  /// already holds this many pairs.
+  std::size_t max_queued_pairs = 0;
+};
+
+/// Configuration of the core::AlignService continuous batcher (the
+/// multi-tenant front end over the BatchScheduler stack).
+struct ServiceOptions {
+  /// Target merged-batch size in pairs: the batcher tops a shard up to this
+  /// from whichever sessions have queued work before dispatching it. A
+  /// partial batch is dispatched rather than held back — latency beats
+  /// perfect packing when traffic trickles.
+  std::size_t batch_pairs = 256;
+  /// Default per-session admission cap in queued pairs (see
+  /// SessionOptions::max_queued_pairs).
+  std::size_t max_queued_pairs_per_session = 4096;
+  /// Global in-flight cap: at most this many merged batches may sit between
+  /// the batcher and the align workers. Together with the admission caps
+  /// this bounds total resident pairs; the batcher blocks when it is hit.
+  std::size_t max_inflight_batches = 4;
+  /// Concurrent align workers. Above 1, each worker owns its own backend
+  /// replica (built from the same AlignerOptions), exactly like
+  /// StreamOptions::align_threads.
+  std::size_t align_threads = 1;
+  /// Derive SchedulerOptions per merged batch via core::recommend_scheduler
+  /// (the StreamAligner default); false falls back to the AlignerOptions
+  /// scheduler fields.
+  bool autotune_schedule = true;
+};
+
 /// Splits an AlignerOptions::device value into its comma-separated preset
 /// names, trimming surrounding whitespace. Throws std::invalid_argument on
 /// an empty string or an empty list element ("gtx1650,,rtx3090"); names are

@@ -1,0 +1,45 @@
+#include "core/schedule_cache.hpp"
+
+#include "core/autotune.hpp"
+#include "core/workload.hpp"
+
+namespace saloba::core {
+
+bool same_schedule(const SchedulerOptions& a, const SchedulerOptions& b) {
+  return a.max_shard_pairs == b.max_shard_pairs && a.policy == b.policy &&
+         a.threads == b.threads && a.band == b.band && a.traceback == b.traceback &&
+         a.traceback_settings == b.traceback_settings;
+}
+
+void materialize_chunk_bands(seq::PairBatch& chunk, const AlignerOptions& options,
+                             const std::optional<SchedulerOptions>& override_schedule) {
+  materialize_bands(chunk, override_schedule && override_schedule->band.banded()
+                               ? override_schedule->band
+                               : options.band_policy());
+}
+
+SchedulerOptions resolve_chunk_schedule(const seq::PairBatch& chunk,
+                                        const AlignerOptions& options,
+                                        const std::optional<SchedulerOptions>& override_schedule,
+                                        bool autotune, const AlignBackend& backend) {
+  SchedulerOptions wanted;
+  if (override_schedule) {
+    wanted = *override_schedule;
+  } else if (autotune) {
+    wanted = recommend_scheduler(stats_of(chunk), lane_weights(backend));
+    wanted.threads = options.scheduler_threads;
+  } else {
+    wanted.max_shard_pairs = options.max_shard_pairs;
+    wanted.policy = options.split_policy;
+    wanted.threads = options.scheduler_threads;
+  }
+  // Two-phase runs: AlignerOptions::traceback applies unless an explicit
+  // override already turned the phase on itself.
+  if (!wanted.traceback && options.traceback) {
+    wanted.traceback = true;
+    wanted.traceback_settings.checkpoint_rows = options.traceback_checkpoint_rows;
+  }
+  return wanted;
+}
+
+}  // namespace saloba::core

@@ -3,14 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <map>
 #include <mutex>
-#include <stdexcept>
 #include <thread>
 #include <utility>
 
-#include "core/autotune.hpp"
-#include "core/workload.hpp"
+#include "core/ordered_emitter.hpp"
+#include "core/schedule_cache.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -34,12 +32,6 @@ struct OutChunk {
   AlignOutput output;
 };
 
-bool same_schedule(const SchedulerOptions& a, const SchedulerOptions& b) {
-  return a.max_shard_pairs == b.max_shard_pairs && a.policy == b.policy &&
-         a.threads == b.threads && a.band == b.band && a.traceback == b.traceback &&
-         a.traceback_settings == b.traceback_settings;
-}
-
 void raise_peak(std::atomic<std::size_t>& peak, std::size_t value) {
   std::size_t cur = peak.load(std::memory_order_relaxed);
   while (value > cur && !peak.compare_exchange_weak(cur, value)) {
@@ -47,55 +39,6 @@ void raise_peak(std::atomic<std::size_t>& peak, std::size_t value) {
 }
 
 }  // namespace
-
-ResidentChunkSource::ResidentChunkSource(const seq::PairBatch& batch, std::size_t chunk_pairs)
-    : batch_(&batch), chunk_pairs_(chunk_pairs < 1 ? 1 : chunk_pairs) {}
-
-bool ResidentChunkSource::next(seq::PairBatch& chunk) {
-  chunk = seq::PairBatch{};
-  if (cursor_ >= batch_->size()) return false;
-  std::size_t end = std::min(cursor_ + chunk_pairs_, batch_->size());
-  for (std::size_t i = cursor_; i < end; ++i) {
-    // Resolve the source batch's band channel per pair (band_of applies its
-    // default_band too) so streamed chunks stay bit-identical to a one-shot
-    // run over the same banded batch.
-    chunk.add(batch_->queries[i], batch_->refs[i], batch_->band_of(i));
-  }
-  if (batch_->has_band_info() && chunk.bands.empty()) {
-    // Every pair of this chunk resolved to band 0 (explicit full table).
-    // Keep the chunk marked as band-carrying anyway: the source batch's
-    // bands must keep winning over any Aligner-level band policy downstream,
-    // exactly as they do on the one-shot path.
-    chunk.bands.assign(chunk.size(), 0);
-  }
-  cursor_ = end;
-  return true;
-}
-
-ReaderPairSource::ReaderPairSource(seq::SequenceChunkReader& queries,
-                                   seq::SequenceChunkReader& refs)
-    : queries_(&queries), refs_(&refs) {}
-
-bool ReaderPairSource::next(seq::PairBatch& chunk) {
-  chunk = seq::PairBatch{};
-  // Pull matching record counts regardless of the two readers' chunk sizes.
-  std::size_t want = std::min(queries_->chunk_records(), refs_->chunk_records());
-  seq::Sequence q, r;
-  for (std::size_t i = 0; i < want; ++i) {
-    bool have_q = queries_->read_record(q);
-    bool have_r = refs_->read_record(r);
-    if (have_q != have_r) {
-      throw std::runtime_error(
-          have_q ? "reference stream ended before query stream (record " +
-                       std::to_string(queries_->records_read()) + ")"
-                 : "query stream ended before reference stream (record " +
-                       std::to_string(refs_->records_read()) + ")");
-    }
-    if (!have_q) break;
-    chunk.add(std::move(q.bases), std::move(r.bases));
-  }
-  return chunk.size() > 0;
-}
 
 StreamAligner::StreamAligner(AlignerOptions options, StreamOptions stream)
     : options_(std::move(options)), stream_(stream) {
@@ -209,56 +152,26 @@ StreamStats StreamAligner::run(PairChunkSource& source, const ChunkSink& sink) {
       // between a handful of configurations (chunk stats hover around the
       // skew threshold, the final partial chunk changes the cap), and
       // rebuilding a BatchScheduler would respawn its thread pool.
-      std::vector<std::pair<SchedulerOptions, std::unique_ptr<BatchScheduler>>> cache;
+      ScheduleCache cache(backend);
       while (auto in = input.pop()) {
         if (aborted.load()) return;  // don't align chunks nobody will emit
         // Materialize the band policy into the chunk the worker owns (in
         // place — no copy): the autotuner then judges the banded workload
         // it will actually run, and the scheduler forwards the band channel
         // untouched. Chunks that already carry bands (a banded source
-        // batch) win over the policy, as everywhere else. An explicit
-        // StreamOptions::schedule can override the band policy only by
-        // setting one of its own; otherwise the AlignerOptions knobs apply,
-        // keeping streamed runs bit-identical to one-shot Aligner::align
-        // with the same AlignerOptions.
-        materialize_bands(in->batch,
-                          stream_.schedule && stream_.schedule->band.banded()
-                              ? stream_.schedule->band
-                              : options_.band_policy());
-        SchedulerOptions wanted;
-        if (stream_.schedule) {
-          wanted = *stream_.schedule;
-        } else if (stream_.autotune_schedule) {
-          wanted = recommend_scheduler(stats_of(in->batch), lane_weights(*backend));
-          wanted.threads = options_.scheduler_threads;
-        } else {
-          wanted.max_shard_pairs = options_.max_shard_pairs;
-          wanted.policy = options_.split_policy;
-          wanted.threads = options_.scheduler_threads;
-        }
-        // Two-phase runs: AlignerOptions::traceback applies unless an
-        // explicit StreamOptions::schedule already turned the phase on
-        // itself — the same override rule as the band policy above.
-        if (!wanted.traceback && options_.traceback) {
-          wanted.traceback = true;
-          wanted.traceback_settings.checkpoint_rows = options_.traceback_checkpoint_rows;
-        }
-        BatchScheduler* sched = nullptr;
-        for (auto& [opts, cached] : cache) {
-          if (same_schedule(wanted, opts)) {
-            sched = cached.get();
-            break;
-          }
-        }
-        if (!sched) {
-          cache.emplace_back(wanted, std::make_unique<BatchScheduler>(backend, wanted));
-          sched = cache.back().second.get();
-        }
+        // batch) win over the policy, and an explicit StreamOptions
+        // schedule wins over the AlignerOptions knobs, exactly the shared
+        // per-chunk rule (core/schedule_cache.hpp) the service batcher
+        // applies — keeping streamed runs bit-identical to one-shot
+        // Aligner::align with the same AlignerOptions.
+        materialize_chunk_bands(in->batch, options_, stream_.schedule);
+        SchedulerOptions wanted = resolve_chunk_schedule(
+            in->batch, options_, stream_.schedule, stream_.autotune_schedule, *backend);
         OutChunk out;
         out.index = in->index;
         out.first_pair = in->first_pair;
         out.pairs = in->batch.size();
-        out.output = sched->run(in->batch);
+        out.output = cache.scheduler(wanted).run(in->batch);
         if (!output.push(std::move(out))) return;
       }
     } catch (...) {
@@ -276,34 +189,31 @@ StreamStats StreamAligner::run(PairChunkSource& source, const ChunkSink& sink) {
     });
   }
 
-  // Merger, on the caller's thread: restore input order, aggregate running
-  // stats, hand each chunk to the sink, release its residency ticket.
+  // Merger, on the caller's thread: restore input order (OrderedEmitter),
+  // aggregate running stats, hand each chunk to the sink, release its
+  // residency ticket.
   try {
-    std::map<std::size_t, OutChunk> pending;
-    std::size_t next_index = 0;
-    while (auto out = output.pop()) {
-      pending.emplace(out->index, std::move(*out));
-      for (auto it = pending.find(next_index); it != pending.end();
-           it = pending.find(++next_index)) {
-        OutChunk& ready = it->second;
-        ++stats.chunks;
-        stats.pairs += ready.pairs;
-        stats.cells += ready.output.cells;
-        stats.shards += ready.output.schedule.shards;
-        stats.align_ms += ready.output.time_ms;
-        stats.traceback_ms += ready.output.traceback_ms;
-        stats.traceback_cells += ready.output.traceback_cells;
-        SALOBA_CHECK_MSG(ready.output.schedule.lane_ms.size() == stats.lane_ms.size(),
-                         "chunk ran on a backend with a different lane count");
-        for (std::size_t l = 0; l < stats.lane_ms.size(); ++l) {
-          stats.lane_ms[l] += ready.output.schedule.lane_ms[l];
-        }
-        if (sink) sink(ready.index, ready.first_pair, std::move(ready.output));
-        resident_pairs.fetch_sub(ready.pairs);
-        resident_chunks.fetch_sub(1);
-        tickets.pop();  // free one in-flight slot for the reader
-        pending.erase(it);
+    OrderedEmitter<OutChunk> emitter([&](std::size_t, OutChunk&& ready) {
+      ++stats.chunks;
+      stats.pairs += ready.pairs;
+      stats.cells += ready.output.cells;
+      stats.shards += ready.output.schedule.shards;
+      stats.align_ms += ready.output.time_ms;
+      stats.traceback_ms += ready.output.traceback_ms;
+      stats.traceback_cells += ready.output.traceback_cells;
+      SALOBA_CHECK_MSG(ready.output.schedule.lane_ms.size() == stats.lane_ms.size(),
+                       "chunk ran on a backend with a different lane count");
+      for (std::size_t l = 0; l < stats.lane_ms.size(); ++l) {
+        stats.lane_ms[l] += ready.output.schedule.lane_ms[l];
       }
+      if (sink) sink(ready.index, ready.first_pair, std::move(ready.output));
+      resident_pairs.fetch_sub(ready.pairs);
+      resident_chunks.fetch_sub(1);
+      tickets.pop();  // free one in-flight slot for the reader
+    });
+    while (auto out = output.pop()) {
+      std::size_t index = out->index;
+      emitter.push(index, std::move(*out));
     }
   } catch (...) {
     record_failure(std::current_exception());

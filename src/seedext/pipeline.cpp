@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "align/sw_banded.hpp"
+#include "core/align_service.hpp"
 #include "align/sw_reference.hpp"
 #include "align/traceback_engine.hpp"
 #include "seedext/sam_output.hpp"
@@ -141,6 +142,24 @@ std::vector<ReadMapping> ReadMapper::map_batch(
   std::vector<ReadMapping> out = map_batch(reads, extend, chain_stats);
   attach_tracebacks(reads, out, trace);
   return out;
+}
+
+std::vector<ReadMapping> ReadMapper::map_session(
+    std::span<const std::vector<seq::BaseCode>> reads, core::AlignService& service,
+    core::SessionOptions session, ChainStageStats* chain_stats) const {
+  // One service tenant per call: each phase batch goes through
+  // AlignService::align, which multiplexes it with whatever other tenants
+  // have queued — same results as a private Aligner, shared capacity.
+  BatchExtender extend = [&](const seq::PairBatch& batch) {
+    return service.align(batch, session).results;
+  };
+  if (service.options().traceback) {
+    TracedBatchExtender trace = [&](const seq::PairBatch& batch) {
+      return std::move(service.align(batch, session).traced);
+    };
+    return map_batch(reads, extend, trace, chain_stats);
+  }
+  return map_batch(reads, extend, chain_stats);
 }
 
 void ReadMapper::attach_tracebacks(std::span<const std::vector<seq::BaseCode>> reads,

@@ -12,6 +12,7 @@
 
 #include "align/alignment_result.hpp"
 #include "align/scoring.hpp"
+#include "core/options.hpp"
 #include "seedext/chain_batch.hpp"
 #include "seedext/chain_engine.hpp"
 #include "seedext/chaining.hpp"
@@ -25,6 +26,10 @@ namespace saloba::seq {
 class SequenceChunkReader;  // seq/chunk_reader.hpp
 class SamWriter;            // seq/sam.hpp
 }  // namespace saloba::seq
+
+namespace saloba::core {
+class AlignService;  // core/align_service.hpp
+}  // namespace saloba::core
 
 namespace saloba::seedext {
 
@@ -152,6 +157,19 @@ class ReadMapper {
                                      const BatchExtender& extend,
                                      const TracedBatchExtender& trace,
                                      ChainStageStats* chain_stats = nullptr) const;
+
+  /// Batched mapping with the extension stage (and, when the service's
+  /// AlignerOptions enable traceback, the traceback phase) routed through
+  /// one session of a multi-tenant core::AlignService: this mapper becomes
+  /// one tenant among many sharing the service's continuously batched
+  /// backend, with the given per-session QoS knobs. Mappings (and stored
+  /// traces) are identical to map_batch over the same reads with the
+  /// equivalent core::Aligner extenders — the service is bit-identical per
+  /// pair regardless of what other tenants are doing.
+  std::vector<ReadMapping> map_session(std::span<const std::vector<seq::BaseCode>> reads,
+                                       core::AlignService& service,
+                                       core::SessionOptions session = {},
+                                       ChainStageStats* chain_stats = nullptr) const;
 
   /// The traceback stage of the batched path, exposed for callers that
   /// already hold mappings: fills `traced`/`has_traceback` of every mapped

@@ -1,0 +1,94 @@
+// Cooperative cancellation for blocking pipeline stages. A CancelToken is a
+// copyable handle to shared cancellation state: cancel() trips it exactly
+// once, cancelled() observes it, and subscribe() registers a callback that
+// fires on (or immediately after) cancellation — the hook BoundedQueue's
+// cancel-aware pop/push use to wake a blocked waiter, so shutting down a
+// session or the whole AlignService can never deadlock a consumer parked on
+// an empty queue (see util/bounded_queue.hpp).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace saloba::util {
+
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  /// Idempotent trip: the first call runs every subscribed callback (outside
+  /// the token's lock, in subscription order); later calls are no-ops.
+  /// Callbacks may take their own locks (BoundedQueue's wake callback locks
+  /// the queue mutex), so never call cancel() while holding a lock a
+  /// callback needs.
+  void cancel() const {
+    std::map<std::size_t, std::function<void()>> run;
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (state_->cancelled) return;
+      state_->cancelled = true;
+      run.swap(state_->callbacks);
+    }
+    for (auto& [id, fn] : run) fn();
+  }
+
+  bool cancelled() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->cancelled;
+  }
+
+  /// Registers `fn` to run on cancellation and returns an id for
+  /// unsubscribe(). If the token is already cancelled, `fn` runs immediately
+  /// on this thread and the returned id is 0 (nothing to unsubscribe).
+  std::size_t subscribe(std::function<void()> fn) const {
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (!state_->cancelled) {
+        std::size_t id = state_->next_id++;
+        state_->callbacks.emplace(id, std::move(fn));
+        return id;
+      }
+    }
+    fn();
+    return 0;
+  }
+
+  /// Removes a subscription; safe on the 0 id and after cancel() (the
+  /// callback map was already drained).
+  void unsubscribe(std::size_t id) const {
+    if (id == 0) return;
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->callbacks.erase(id);
+  }
+
+ private:
+  struct State {
+    std::mutex mutex;
+    bool cancelled = false;
+    std::size_t next_id = 1;
+    std::map<std::size_t, std::function<void()>> callbacks;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// RAII subscription: subscribes on construction, unsubscribes on scope
+/// exit — the shape every cancel-aware blocking call uses so a completed
+/// wait never leaves a dangling callback behind.
+class CancelSubscription {
+ public:
+  CancelSubscription(const CancelToken& token, std::function<void()> fn)
+      : token_(token), id_(token_.subscribe(std::move(fn))) {}
+  ~CancelSubscription() { token_.unsubscribe(id_); }
+  CancelSubscription(const CancelSubscription&) = delete;
+  CancelSubscription& operator=(const CancelSubscription&) = delete;
+
+ private:
+  CancelToken token_;
+  std::size_t id_;
+};
+
+}  // namespace saloba::util

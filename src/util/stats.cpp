@@ -47,6 +47,19 @@ double percentile(std::span<const double> xs, double p) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+double percentile_nearest_rank(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  SALOBA_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  if (rank < 1) rank = 1;                        // p = 0: the minimum
+  if (rank > sorted.size()) rank = sorted.size();  // guard fp round-up
+  auto nth = sorted.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+  std::nth_element(sorted.begin(), nth, sorted.end());
+  return *nth;
+}
+
 double min_of(std::span<const double> xs) {
   if (xs.empty()) return 0.0;
   return *std::min_element(xs.begin(), xs.end());

@@ -13,6 +13,12 @@ double stddev(std::span<const double> xs);   ///< sample stddev (n-1)
 double median(std::span<const double> xs);
 /// Linear-interpolated percentile, p in [0,100].
 double percentile(std::span<const double> xs, double p);
+/// Exact nearest-rank percentile, p in [0,100]: the ceil(p/100 · N)-th
+/// smallest sample (1-indexed; p = 0 returns the minimum). Unlike
+/// percentile() it never interpolates — the result is always an observed
+/// sample, the right convention for small-N latency quantiles (the
+/// p50/p99 of core::ServiceStats).
+double percentile_nearest_rank(std::span<const double> xs, double p);
 double min_of(std::span<const double> xs);
 double max_of(std::span<const double> xs);
 /// Coefficient of variation (stddev/mean); 0 for empty or zero-mean input.

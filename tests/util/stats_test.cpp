@@ -1,5 +1,6 @@
 #include "util/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -37,6 +38,63 @@ TEST(Stats, MedianAndPercentiles) {
   EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
   EXPECT_DOUBLE_EQ(percentile(std::vector<double>{10.0, 20.0}, 50), 15.0);
+}
+
+TEST(Stats, NearestRankHandComputed) {
+  // Wikipedia's nearest-rank worked example: {15, 20, 35, 40, 50}.
+  std::vector<double> xs{35, 20, 15, 50, 40};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 5), 15.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 30), 20.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 40), 20.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 50), 35.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 0), 15.0);  // p = 0: the minimum
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(std::vector<double>{}, 99), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(std::vector<double>{7.0}, 99), 7.0);
+}
+
+TEST(Stats, NearestRankP99SmallN) {
+  // The QoS property AlignService leans on: with few samples, p99 is the
+  // maximum (rank ceil(0.99 N) = N for N <= 99), never an interpolated
+  // value that no request actually experienced.
+  std::vector<double> xs;
+  for (int n = 1; n <= 99; ++n) {
+    xs.push_back(static_cast<double>(n));
+    EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 99), max_of(xs)) << "N=" << n;
+  }
+  xs.push_back(100.0);  // N = 100: rank ceil(99.0) = 99 -> second-largest
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 99), 99.0);
+}
+
+TEST(Stats, NearestRankMatchesSortedReferenceOnRandomData) {
+  // Property test against the definition: the k-th smallest with
+  // k = ceil(p/100 * N), over random sizes, values, and percentiles.
+  Xoshiro256 rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::size_t n = 1 + static_cast<std::size_t>(rng.uniform() * 40);
+    std::vector<double> xs;
+    for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.uniform() * 1000 - 500);
+    double p = rng.uniform() * 100.0;
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    rank = std::clamp<std::size_t>(rank, 1, n);
+    EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, p), sorted[rank - 1])
+        << "n=" << n << " p=" << p;
+  }
+}
+
+TEST(Stats, NearestRankAlwaysReturnsAnObservedSample) {
+  // Unlike the interpolating percentile(), the nearest-rank result is
+  // always one of the inputs — a latency some pair actually saw.
+  Xoshiro256 rng(31);
+  std::vector<double> xs;
+  for (int i = 0; i < 17; ++i) xs.push_back(rng.uniform() * 10);
+  for (double p : {0.0, 12.5, 50.0, 90.0, 99.0, 100.0}) {
+    double v = percentile_nearest_rank(xs, p);
+    EXPECT_NE(std::find(xs.begin(), xs.end(), v), xs.end()) << "p=" << p;
+  }
 }
 
 TEST(Stats, MinMax) {
