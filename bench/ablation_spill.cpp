@@ -46,12 +46,18 @@ int main(int argc, char** argv) {
                                      static_cast<std::size_t>(args.get_int("pairs")));
   align::ScoringScheme scoring;
 
+  // Machine-readable summary alongside the tables: per device, the naive vs
+  // lazy traffic at the default subwarp width (the headline waste factors).
+  std::string json = "{\"bench\":\"ablation_spill\",\"devices\":[";
+  bool first_device = true;
+
   for (const auto& spec :
        {gpusim::DeviceSpec::pascal_p100(), gpusim::DeviceSpec::volta_v100()}) {
     std::printf("=== %s (%d B transactions) ===\n", spec.name.c_str(),
                 spec.mem_access_granularity);
     util::Table table(
         {"Config", "Moved MB", "Useful MB", "Waste x", "Mem requests", "Sim time"});
+    Traffic naive32, lazy32;
     for (int subwarp : {32, 16, 8}) {
       for (int mode = 0; mode < 3; ++mode) {
         if (mode == 2 && subwarp == 32) continue;  // full-warp = default at 32
@@ -60,6 +66,7 @@ int main(int argc, char** argv) {
         cfg.lazy_spill = mode != 0;
         cfg.full_warp_spill = mode == 2;  // Sec. IV-C: N+32-slot variant
         auto t = measure(cfg, spec, batch, scoring);
+        if (subwarp == 32) (mode == 0 ? naive32 : lazy32) = t;
         char label[64];
         std::snprintf(label, sizeof label, "sw%-2d %s", subwarp,
                       mode == 0 ? "naive" : (mode == 1 ? "lazy" : "lazy+fw"));
@@ -69,6 +76,24 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("%s\n", table.render().c_str());
+
+    char entry[512];
+    std::snprintf(entry, sizeof entry,
+                  "%s{\"device\":\"%s\",\"granularity\":%d,"
+                  "\"naive_moved_mb\":%.1f,\"naive_waste\":%.2f,"
+                  "\"lazy_moved_mb\":%.1f,\"lazy_waste\":%.2f}",
+                  first_device ? "" : ",", spec.name.c_str(), spec.mem_access_granularity,
+                  naive32.moved_mb, naive32.moved_mb / naive32.useful_mb, lazy32.moved_mb,
+                  lazy32.moved_mb / lazy32.useful_mb);
+    json += entry;
+    first_device = false;
+  }
+  json += "]}\n";
+
+  if (std::FILE* f = std::fopen("BENCH_spill.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_spill.json\n");
   }
 
   std::printf(

@@ -1,68 +1,15 @@
 #include "align/antidiag_cpu.hpp"
 
-#include <algorithm>
-#include <limits>
-#include <vector>
-
-#include "util/check.hpp"
+#include "align/xdrop_wavefront.hpp"
 
 namespace saloba::align {
-namespace {
-constexpr Score kNegInf = std::numeric_limits<Score>::min() / 4;
-}
 
 AlignmentResult smith_waterman_antidiag(std::span<const seq::BaseCode> ref,
                                         std::span<const seq::BaseCode> query,
                                         const ScoringScheme& scoring) {
-  SALOBA_CHECK(scoring.valid());
-  const std::size_t n = ref.size();
-  const std::size_t m = query.size();
-  AlignmentResult best;
-  if (n == 0 || m == 0) return best;
-
-  const Score alpha = scoring.alpha();
-  const Score beta = scoring.beta();
-
-  // Diagonal buffers indexed by reference position i. For a cell (i, j) on
-  // diagonal d (j = d - i):
-  //   left  (i, j-1)  -> diagonal d-1, index i
-  //   up    (i-1, j)  -> diagonal d-1, index i-1
-  //   diag  (i-1,j-1) -> diagonal d-2, index i-1
-  std::vector<Score> h_d2(n, 0), h_d1(n, 0), h_cur(n, 0);
-  std::vector<Score> e_d1(n, kNegInf), e_cur(n, kNegInf);
-  std::vector<Score> f_d1(n, kNegInf), f_cur(n, kNegInf);
-
-  const std::size_t diag_count = n + m - 1;
-  for (std::size_t d = 0; d < diag_count; ++d) {
-    std::size_t i_lo = (d >= m) ? d - m + 1 : 0;
-    std::size_t i_hi = std::min(n - 1, d);
-    for (std::size_t i = i_lo; i <= i_hi; ++i) {
-      std::size_t j = d - i;
-      // Out-of-table neighbours: H reads 0 (local floor), E/F read -inf.
-      Score h_left = (j == 0) ? 0 : h_d1[i];
-      Score e_left = (j == 0) ? kNegInf : e_d1[i];
-      Score h_up = (i == 0) ? 0 : h_d1[i - 1];
-      Score f_up = (i == 0) ? kNegInf : f_d1[i - 1];
-      Score h_diag = (i == 0 || j == 0) ? 0 : h_d2[i - 1];
-
-      Score e = std::max(h_left - alpha, e_left - beta);
-      Score f = std::max(h_up - alpha, f_up - beta);
-      Score h = std::max({Score{0}, h_diag + scoring.substitution(ref[i], query[j]), e, f});
-
-      h_cur[i] = h;
-      e_cur[i] = e;
-      f_cur[i] = f;
-
-      take_better(best, AlignmentResult{h, static_cast<std::int32_t>(i),
-                                        static_cast<std::int32_t>(j)});
-    }
-    std::swap(h_d2, h_d1);
-    std::swap(h_d1, h_cur);
-    std::swap(e_d1, e_cur);
-    std::swap(f_d1, f_cur);
-  }
-  if (best.score == 0) return AlignmentResult{};
-  return best;
+  // With pruning disabled the wavefront's live windows cover every valid
+  // cell, so this is exact Smith-Waterman executed along anti-diagonals.
+  return xdrop_wavefront_score(ref, query, scoring, XDropParams{.xdrop = 0});
 }
 
 }  // namespace saloba::align

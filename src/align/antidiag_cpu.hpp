@@ -5,6 +5,12 @@
 // they are independent. On a GPU those cells map to lanes; here the layout
 // demonstrates the dependency structure and gives tests a third independent
 // implementation to cross-check (row-major reference, banded, wavefront).
+//
+// Promoted from a demo-grade standalone sweep to a thin wrapper over the
+// production long-read engine (align/xdrop_wavefront.hpp) with X-drop
+// pruning disabled — the windowed sweep then covers every valid cell and is
+// exact Smith-Waterman, so the historical three-way oracle contract
+// (reference / banded / antidiag) is unchanged.
 #pragma once
 
 #include <span>

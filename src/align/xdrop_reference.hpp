@@ -1,0 +1,32 @@
+// Naive full-matrix oracle for the X-drop wavefront engine
+// (align/xdrop_wavefront.hpp). Implements the identical specification —
+// per-diagonal live windows, masked reverse-prefix start discovery, the
+// Myers–Miller split and tie-break rules that *define* the canonical CIGAR —
+// with independent O(N·M) code: full H/E/F matrices, an explicit
+// computed-cell mask, and full 2D sweeps per divide-and-conquer split. The
+// fuzz suite asserts the two are bit-identical in score, endpoint and CIGAR.
+// Tests and moderate lengths only.
+#pragma once
+
+#include <span>
+
+#include "align/alignment_result.hpp"
+#include "align/scoring.hpp"
+#include "align/xdrop_wavefront.hpp"
+#include "seq/alphabet.hpp"
+
+namespace saloba::align {
+
+/// Forward masked pass on full matrices: best score + canonical endpoint.
+AlignmentResult xdrop_reference_score(std::span<const seq::BaseCode> ref,
+                                      std::span<const seq::BaseCode> query,
+                                      const ScoringScheme& scoring,
+                                      const XDropParams& params = {});
+
+/// Full alignment per the shared canonical specification, on full matrices.
+TracedAlignment xdrop_reference_align(std::span<const seq::BaseCode> ref,
+                                      std::span<const seq::BaseCode> query,
+                                      const ScoringScheme& scoring,
+                                      const XDropParams& params = {});
+
+}  // namespace saloba::align

@@ -14,6 +14,7 @@ Aligner::Aligner(AlignerOptions options) : options_(std::move(options)) {
   sched.policy = options_.split_policy;
   sched.threads = options_.scheduler_threads;
   sched.band = options_.band_policy();
+  sched.longread = options_.longread_policy();
   sched.traceback = options_.traceback;
   sched.traceback_settings.checkpoint_rows = options_.traceback_checkpoint_rows;
   scheduler_ = std::make_unique<BatchScheduler>(backend_.get(), sched);

@@ -136,8 +136,11 @@ class CpuBackend final : public AlignBackend {
   /// `zdrop > 0` applies z-drop row pruning to every pair (see
   /// align::BandedParams::zdrop); per-pair bands come from the batch itself
   /// (the scheduler materializes AlignerOptions band knobs into it).
+  /// An enabled `longread` policy routes qualifying pairs to the X-drop
+  /// wavefront engine in both run() and run_traceback() — routed pairs
+  /// ignore band and zdrop (see core::LongReadPolicy).
   explicit CpuBackend(align::ScoringScheme scoring, int lanes = 1, int threads_total = 0,
-                      align::Score zdrop = 0);
+                      align::Score zdrop = 0, LongReadPolicy longread = {});
 
   const std::string& name() const override { return name_; }
   int lanes() const override { return lanes_; }
@@ -160,6 +163,7 @@ class CpuBackend final : public AlignBackend {
   int lanes_ = 1;
   int threads_per_lane_ = 0;
   align::Score zdrop_ = 0;
+  LongReadPolicy longread_;
   std::string name_ = "cpu";
 };
 
@@ -178,9 +182,11 @@ class SimdCpuBackend final : public AlignBackend {
 
   /// One lane per entry of `kinds`; lanes split `threads_total` evenly like
   /// CpuBackend. `zdrop > 0` applies z-drop pruning on every lane (both
-  /// engines implement the identical rule).
+  /// engines implement the identical rule). An enabled `longread` policy
+  /// routes qualifying pairs to the X-drop wavefront engine on every lane
+  /// kind (scalar DP per routed pair — long pairs don't cohort anyway).
   SimdCpuBackend(align::ScoringScheme scoring, std::vector<LaneKind> kinds,
-                 int threads_total = 0, align::Score zdrop = 0);
+                 int threads_total = 0, align::Score zdrop = 0, LongReadPolicy longread = {});
 
   const std::string& name() const override { return name_; }
   int lanes() const override { return static_cast<int>(kinds_.size()); }
@@ -205,6 +211,7 @@ class SimdCpuBackend final : public AlignBackend {
   std::vector<LaneKind> kinds_;
   int threads_per_lane_ = 0;
   align::Score zdrop_ = 0;
+  LongReadPolicy longread_;
   std::string name_;
 };
 
@@ -255,6 +262,7 @@ class SimulatedGpuBackend final : public AlignBackend {
   kernels::KernelPtr kernel_;
   std::vector<std::unique_ptr<gpusim::Device>> devices_;
   std::vector<double> weights_;
+  LongReadPolicy longread_;
   std::string name_;
 };
 

@@ -5,7 +5,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "align/xdrop_wavefront.hpp"
+
 namespace saloba::core {
+
+std::size_t LongReadPolicy::cells_estimate(std::size_t ref_len, std::size_t query_len) const {
+  // Packing heuristic: the wavefront's score-bounded window width depends
+  // only on xdrop and the gap-extend penalty; the default scheme's beta is
+  // representative enough for load balancing.
+  return align::xdrop_cells_estimate(ref_len, query_len, xdrop, align::ScoringScheme{});
+}
 
 std::size_t BandPolicy::band_for(std::size_t query_len) const {
   if (!banded()) return 0;

@@ -36,6 +36,34 @@ struct BandPolicy {
   bool operator==(const BandPolicy&) const = default;
 };
 
+/// Long-read routing policy (the LOGAN-style X-drop regime): pairs whose
+/// longer sequence reaches `min_pair_bases` leave the block-DP/banded path
+/// for the X-drop wavefront engine (align::xdrop_wavefront) — anti-diagonal
+/// execution, X-drop termination, O(N+M) Myers-Miller traceback. Routed
+/// pairs ignore band and z-drop: the long-read regime carries its own
+/// pruning, and a 100kb pair has no meaningful |i-j| band anyway. The
+/// default (0) disables routing, keeping every workload bit-identical to
+/// the classic path.
+struct LongReadPolicy {
+  /// Route a pair when max(|ref|, |query|) >= this; 0 = never.
+  std::size_t min_pair_bases = 0;
+  /// X-drop threshold for routed pairs (<= 0 disables pruning — exact, but
+  /// the forward sweep degenerates to O(N·M) cells on divergent pairs).
+  align::Score xdrop = 400;
+
+  bool enabled() const { return min_pair_bases > 0; }
+  bool routes(std::size_t ref_len, std::size_t query_len) const {
+    return enabled() && (ref_len >= min_pair_bases || query_len >= min_pair_bases);
+  }
+  /// Scheduler packing load of a routed pair: the wavefront cost model's
+  /// forward-cell estimate (align::xdrop_cells_estimate under the default
+  /// gap-extend) instead of the nominal n·m table that would absurdly
+  /// overweight a long pair. A cost hint only, never a correctness input.
+  std::size_t cells_estimate(std::size_t ref_len, std::size_t query_len) const;
+
+  bool operator==(const LongReadPolicy&) const = default;
+};
+
 /// Materializes `policy` into the batch's per-pair band channel:
 /// bands[i] = policy.band_for(|query i|). No-op when the policy is unbanded
 /// or the batch already carries band information of its own (a seedext
@@ -81,6 +109,17 @@ struct AlignerOptions {
   align::Score zdrop = 0;
   /// The band knobs above as a BandPolicy (what the scheduler materializes).
   BandPolicy band_policy() const { return BandPolicy{band, band_frac}; }
+
+  // --- Long-read routing (X-drop wavefront engine) ------------------------
+  /// Pairs whose longer sequence has at least this many bases are routed to
+  /// the X-drop wavefront engine on every backend (see LongReadPolicy).
+  /// 0 disables routing (default) — short-read workloads stay bit-identical
+  /// to the classic path.
+  std::size_t longread_threshold = 0;
+  /// X-drop threshold for routed pairs (LongReadPolicy::xdrop).
+  align::Score xdrop = 400;
+  /// The long-read knobs above as the policy backends and the scheduler use.
+  LongReadPolicy longread_policy() const { return LongReadPolicy{longread_threshold, xdrop}; }
 
   // --- Traceback phase (two-phase alignment) ------------------------------
   /// When true every align() becomes a two-phase run: the usual score pass

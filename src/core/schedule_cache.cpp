@@ -7,8 +7,8 @@ namespace saloba::core {
 
 bool same_schedule(const SchedulerOptions& a, const SchedulerOptions& b) {
   return a.max_shard_pairs == b.max_shard_pairs && a.policy == b.policy &&
-         a.threads == b.threads && a.band == b.band && a.traceback == b.traceback &&
-         a.traceback_settings == b.traceback_settings;
+         a.threads == b.threads && a.band == b.band && a.longread == b.longread &&
+         a.traceback == b.traceback && a.traceback_settings == b.traceback_settings;
 }
 
 void materialize_chunk_bands(seq::PairBatch& chunk, const AlignerOptions& options,
@@ -38,6 +38,12 @@ SchedulerOptions resolve_chunk_schedule(const seq::PairBatch& chunk,
   if (!wanted.traceback && options.traceback) {
     wanted.traceback = true;
     wanted.traceback_settings.checkpoint_rows = options.traceback_checkpoint_rows;
+  }
+  // Long-read pricing follows the Aligner's routing policy (the backends
+  // route regardless of schedule, so the packer must price consistently)
+  // unless an explicit override already set one.
+  if (!wanted.longread.enabled() && options.longread_policy().enabled()) {
+    wanted.longread = options.longread_policy();
   }
   return wanted;
 }

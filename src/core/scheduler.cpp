@@ -1,6 +1,7 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <exception>
 #include <future>
 #include <utility>
@@ -16,6 +17,7 @@ void accumulate_breakdown(gpusim::TimeBreakdown& into, const gpusim::TimeBreakdo
   into.init_ms += from.init_ms;
   into.traceback_ms += from.traceback_ms;
   into.chaining_ms += from.chaining_ms;
+  into.xdrop_ms += from.xdrop_ms;
   into.total_ms += from.total_ms;
   into.dram_bytes += from.dram_bytes;
   into.sm_imbalance = std::max(into.sm_imbalance, from.sm_imbalance);
@@ -125,9 +127,31 @@ AlignOutput BatchScheduler::run_resolved(const seq::PairBatch& batch) {
 
   // Cost-aware dispatch: heterogeneous backends expose non-uniform lane
   // weights and get the weighted-LPT packing; uniform weights fall through
-  // to the classic unweighted path bit-for-bit.
-  auto shards = gpusim::make_shards(batch, lane_weights(*backend_), options_.policy,
-                                    options_.max_shard_pairs);
+  // to the classic unweighted path bit-for-bit. When the long-read policy
+  // routes pairs, those are priced by the wavefront's cell estimate instead
+  // of their nominal n·m area, so one 100kb pair no longer eats a lane's
+  // whole budget on paper while costing a thin window in practice.
+  std::vector<gpusim::Shard> shards;
+  bool any_routed = false;
+  if (options_.longread.enabled()) {
+    for (std::size_t i = 0; i < batch.size() && !any_routed; ++i) {
+      any_routed = options_.longread.routes(batch.refs[i].size(), batch.queries[i].size());
+    }
+  }
+  if (any_routed) {
+    std::vector<std::uint64_t> loads(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::size_t r = batch.refs[i].size();
+      const std::size_t q = batch.queries[i].size();
+      loads[i] = options_.longread.routes(r, q) ? options_.longread.cells_estimate(r, q)
+                                                : batch.cells_of(i);
+    }
+    shards = gpusim::make_shards(batch, lane_weights(*backend_), options_.policy,
+                                 options_.max_shard_pairs, loads);
+  } else {
+    shards = gpusim::make_shards(batch, lane_weights(*backend_), options_.policy,
+                                 options_.max_shard_pairs);
+  }
   if (shards.size() == 1 && shards[0].batch.size() == batch.size() &&
       options_.policy == gpusim::SplitPolicy::kStatic) {
     return run_single(batch);

@@ -39,6 +39,13 @@ struct SchedulerOptions {
   /// backend-construction knob (AlignerOptions::zdrop), not a scheduler
   /// default.
   BandPolicy band;
+  /// Long-read routing (AlignerOptions longread_threshold/xdrop). Routing
+  /// itself happens inside the backends — every lane applies the same
+  /// policy, so results do not depend on shard placement. The scheduler
+  /// only uses the policy to *price* routed pairs for shard packing: a
+  /// routed pair costs LongReadPolicy::cells_estimate (the wavefront's
+  /// score-bounded window), not the absurd nominal n·m table.
+  LongReadPolicy longread;
   /// Two-phase alignment (AlignerOptions::traceback): after the score pass
   /// settles, a second ThreadPool wave runs the backend's traceback phase
   /// shard by shard on the same lanes and merges one TracedAlignment per

@@ -14,6 +14,7 @@ std::string TimeBreakdown::summary() const {
       << " launch=" << launch_ms << " init=" << init_ms;
   if (traceback_ms > 0.0) oss << " traceback=" << traceback_ms;
   if (chaining_ms > 0.0) oss << " chaining=" << chaining_ms;
+  if (xdrop_ms > 0.0) oss << " xdrop=" << xdrop_ms;
   oss << " imbalance=" << sm_imbalance << ")";
   return oss.str();
 }
@@ -130,6 +131,25 @@ TimeBreakdown estimate_traceback_time(const DeviceSpec& spec, const CostParams& 
                          (spec.mem_bandwidth_gbps * 1e9) * 1e3;
   out.traceback_ms = std::max(compute_ms, dram_ms) + params.launch_overhead_us / 1e3;
   out.total_ms = out.traceback_ms;
+  return out;
+}
+
+TimeBreakdown estimate_xdrop_time(const DeviceSpec& spec, const CostParams& params,
+                                  std::uint64_t cells, std::uint64_t bytes) {
+  TimeBreakdown out;
+  if (cells == 0 && bytes == 0) return out;
+  // Anti-diagonal cells are independent within a wavefront, so the phase is
+  // issue-bound like the score kernels: cells / warp_size warp instructions
+  // through the sustained issue rate.
+  const double instructions =
+      static_cast<double>(cells) / static_cast<double>(spec.warp_size);
+  const double compute_ms = instructions * params.cpi / peak_issue_rate(spec) * 1e3;
+  // Diagonal buffers stream with unit stride and short reuse distance, so
+  // most of the traffic hits in L2 exactly like the chaining SoA columns.
+  const double dram_ms = static_cast<double>(bytes) * (1.0 - spec.l2_hit_rate) /
+                         (spec.mem_bandwidth_gbps * 1e9) * 1e3;
+  out.xdrop_ms = std::max(compute_ms, dram_ms) + params.launch_overhead_us / 1e3;
+  out.total_ms = out.xdrop_ms;
   return out;
 }
 

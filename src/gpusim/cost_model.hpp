@@ -59,6 +59,11 @@ struct TimeBreakdown {
   /// batched chaining pass. Included in total_ms, reported separately from
   /// extension compute and traceback.
   double chaining_ms = 0.0;
+  /// Long-read X-drop wavefront time (estimate_xdrop_time) for pairs the
+  /// long-read policy routed off the block kernels; 0 otherwise. Included in
+  /// total_ms, reported separately so the short-read compute accounting is
+  /// undisturbed.
+  double xdrop_ms = 0.0;
   double total_ms = 0.0;
   /// Diagnostics.
   double sm_imbalance = 0.0;  ///< max SM time / mean SM time (1.0 = balanced)
@@ -104,5 +109,14 @@ TimeBreakdown estimate_traceback_time(const DeviceSpec& spec, const CostParams& 
 /// accounting is undisturbed when breakdowns are accumulated).
 TimeBreakdown estimate_chaining_time(const DeviceSpec& spec, const CostParams& params,
                                      std::uint64_t updates, std::uint64_t bytes);
+
+/// Long-read X-drop wavefront time estimate: `cells` is the engine's forward
+/// sweep plus linear-memory traceback recomputation count, `bytes` its
+/// diagonal-buffer and base-stream traffic. Anti-diagonal execution is
+/// issue-bound like the score kernels (one cell per lane per slot); the
+/// result lands in TimeBreakdown::xdrop_ms (compute/dram/launch stay zero so
+/// short-read accounting is undisturbed when breakdowns are accumulated).
+TimeBreakdown estimate_xdrop_time(const DeviceSpec& spec, const CostParams& params,
+                                  std::uint64_t cells, std::uint64_t bytes);
 
 }  // namespace saloba::gpusim

@@ -20,6 +20,8 @@ void WarpCounters::merge(const WarpCounters& other) {
   traceback_bytes += other.traceback_bytes;
   chaining_updates += other.chaining_updates;
   chaining_bytes += other.chaining_bytes;
+  xdrop_cells += other.xdrop_cells;
+  xdrop_bytes += other.xdrop_bytes;
 }
 
 double WarpCounters::lane_utilization(int warp_size) const {
@@ -52,6 +54,9 @@ std::string KernelStats::summary(int warp_size) const {
   if (totals.chaining_updates > 0) {
     oss << " chain_updates=" << totals.chaining_updates
         << " chain_bytes=" << totals.chaining_bytes;
+  }
+  if (totals.xdrop_cells > 0) {
+    oss << " xdrop_cells=" << totals.xdrop_cells << " xdrop_bytes=" << totals.xdrop_bytes;
   }
   return oss.str();
 }

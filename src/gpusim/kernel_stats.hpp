@@ -42,6 +42,14 @@ struct WarpCounters {
   /// score/parent read-modify-writes) — charged to DRAM by the chaining time
   /// model only.
   std::uint64_t chaining_bytes = 0;
+  /// Long-read X-drop wavefront cells (forward sweep + linear-memory
+  /// traceback recomputation) for pairs the long-read policy routed away
+  /// from the block kernels. Kept separate from dp_cells so short-read
+  /// Table-I accounting is untouched.
+  std::uint64_t xdrop_cells = 0;
+  /// Long-read phase memory traffic (diagonal-buffer streams plus the base
+  /// streams) — charged to DRAM by the X-drop time model only.
+  std::uint64_t xdrop_bytes = 0;
 
   void merge(const WarpCounters& other);
 

@@ -20,6 +20,68 @@ void append_pair(Shard& s, const seq::PairBatch& batch, std::size_t i) {
   }
 }
 
+/// Shared weighted-LPT body of the two cost-aware make_shards overloads:
+/// `order` is the packing order (descending cost under kSorted), `load_of`
+/// prices pair i. One shard per lane when uncapped; capped runs of the
+/// order otherwise, each assigned whole to the lane with the earliest
+/// weighted finish time.
+std::vector<Shard> make_shards_weighted(const seq::PairBatch& batch,
+                                        const std::vector<double>& lane_weights,
+                                        const std::vector<std::size_t>& order,
+                                        std::size_t max_shard_pairs,
+                                        const std::function<double(std::size_t)>& load_of) {
+  const int devices = static_cast<int>(lane_weights.size());
+  std::vector<double> lane_load(lane_weights.size(), 0.0);
+  // Weighted LPT: put the next unit of work on the lane that would finish it
+  // earliest, i.e. minimise (load + cells) / weight.
+  auto pick_lane = [&](double cells) {
+    std::size_t best = 0;
+    double best_finish = (lane_load[0] + cells) / lane_weights[0];
+    for (std::size_t l = 1; l < lane_load.size(); ++l) {
+      double finish = (lane_load[l] + cells) / lane_weights[l];
+      if (finish < best_finish) {
+        best_finish = finish;
+        best = l;
+      }
+    }
+    return best;
+  };
+
+  std::vector<Shard> shards;
+  if (max_shard_pairs == 0) {
+    // One shard per lane; deal pairs greedily in policy order (descending
+    // cost under kSorted — the classic LPT schedule, weight-scaled).
+    shards.resize(lane_weights.size());
+    for (int d = 0; d < devices; ++d) shards[static_cast<std::size_t>(d)].lane = d;
+    for (std::size_t i : order) {
+      std::size_t lane = pick_lane(load_of(i));
+      append_pair(shards[lane], batch, i);
+      shards[lane].indices.push_back(i);
+      lane_load[lane] += load_of(i);
+    }
+  } else {
+    // Capped runs of the policy order, each assigned whole to the lane with
+    // the earliest weighted finish time; a lane may own several runs.
+    for (std::size_t begin = 0; begin < order.size(); begin += max_shard_pairs) {
+      std::size_t end = std::min(begin + max_shard_pairs, order.size());
+      Shard s;
+      double run_load = 0.0;
+      for (std::size_t i = begin; i < end; ++i) {
+        append_pair(s, batch, order[i]);
+        s.indices.push_back(order[i]);
+        run_load += load_of(order[i]);
+      }
+      std::size_t lane = pick_lane(run_load);
+      s.lane = static_cast<int>(lane);
+      lane_load[lane] += run_load;
+      shards.push_back(std::move(s));
+    }
+  }
+
+  std::erase_if(shards, [](const Shard& s) { return s.batch.size() == 0; });
+  return shards;
+}
+
 }  // namespace
 
 std::vector<std::size_t> shard_order(const seq::PairBatch& batch, SplitPolicy policy) {
@@ -95,54 +157,34 @@ std::vector<Shard> make_shards(const seq::PairBatch& batch,
   if (uniform) return make_shards(batch, devices, policy, max_shard_pairs);
 
   auto order = shard_order(batch, policy);
-  std::vector<double> lane_load(lane_weights.size(), 0.0);
-  // Weighted LPT: put the next unit of work on the lane that would finish it
-  // earliest, i.e. minimise (load + cells) / weight.
-  auto pick_lane = [&](double cells) {
-    std::size_t best = 0;
-    double best_finish = (lane_load[0] + cells) / lane_weights[0];
-    for (std::size_t l = 1; l < lane_load.size(); ++l) {
-      double finish = (lane_load[l] + cells) / lane_weights[l];
-      if (finish < best_finish) {
-        best_finish = finish;
-        best = l;
-      }
-    }
-    return best;
-  };
-  auto pair_cells = [&](std::size_t i) { return static_cast<double>(batch.cells_of(i)); };
+  return make_shards_weighted(
+      batch, lane_weights, order, max_shard_pairs,
+      [&](std::size_t i) { return static_cast<double>(batch.cells_of(i)); });
+}
 
-  std::vector<Shard> shards;
-  if (max_shard_pairs == 0) {
-    // One shard per lane; deal pairs greedily in policy order (descending
-    // area under kSorted — the classic LPT schedule, weight-scaled).
-    shards.resize(lane_weights.size());
-    for (int d = 0; d < devices; ++d) shards[static_cast<std::size_t>(d)].lane = d;
-    for (std::size_t i : order) {
-      std::size_t lane = pick_lane(pair_cells(i));
-      append_pair(shards[lane], batch, i);
-      shards[lane].indices.push_back(i);
-      lane_load[lane] += pair_cells(i);
-    }
-  } else {
-    // Capped runs of the policy order, each assigned whole to the lane with
-    // the earliest weighted finish time; a lane may own several runs.
-    for (std::size_t begin = 0; begin < order.size(); begin += max_shard_pairs) {
-      std::size_t end = std::min(begin + max_shard_pairs, order.size());
-      Shard s;
-      for (std::size_t i = begin; i < end; ++i) {
-        append_pair(s, batch, order[i]);
-        s.indices.push_back(order[i]);
-      }
-      std::size_t lane = pick_lane(static_cast<double>(s.batch.total_banded_cells()));
-      s.lane = static_cast<int>(lane);
-      lane_load[lane] += static_cast<double>(s.batch.total_banded_cells());
-      shards.push_back(std::move(s));
-    }
+std::vector<Shard> make_shards(const seq::PairBatch& batch,
+                               const std::vector<double>& lane_weights, SplitPolicy policy,
+                               std::size_t max_shard_pairs,
+                               std::span<const std::uint64_t> loads) {
+  SALOBA_CHECK_MSG(!lane_weights.empty(), "need at least one lane weight");
+  for (double w : lane_weights) {
+    SALOBA_CHECK_MSG(w > 0.0, "lane weights must be positive, got " << w);
   }
-
-  std::erase_if(shards, [](const Shard& s) { return s.batch.size() == 0; });
-  return shards;
+  SALOBA_CHECK_MSG(loads.size() == batch.size(),
+                   "got " << loads.size() << " pair loads for a " << batch.size()
+                          << "-pair batch");
+  // No uniform-weight shortcut: the unweighted deal would re-derive costs
+  // from cells_of and unlearn the explicit loads. Weighted LPT with uniform
+  // weights is plain LPT, which is exactly what the loads call for.
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (policy == SplitPolicy::kSorted) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return loads[a] > loads[b]; });
+  }
+  return make_shards_weighted(
+      batch, lane_weights, order, max_shard_pairs,
+      [&](std::size_t i) { return static_cast<double>(loads[i]); });
 }
 
 ShardResult dispatch_shards(

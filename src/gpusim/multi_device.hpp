@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "gpusim/device_spec.hpp"
@@ -77,5 +79,18 @@ std::vector<Shard> make_shards(const seq::PairBatch& batch, int devices, SplitPo
 std::vector<Shard> make_shards(const seq::PairBatch& batch,
                                const std::vector<double>& lane_weights, SplitPolicy policy,
                                std::size_t max_shard_pairs = 0);
+
+/// Cost-aware sharding with *explicit per-pair loads*: pair i costs
+/// `loads[i]` (size must equal batch.size()) instead of batch.cells_of(i).
+/// The scheduler uses this when a routing policy prices some pairs by a
+/// different engine's cost model — e.g. long-read pairs routed to the X-drop
+/// wavefront, whose work is its score-bounded window, not the nominal n·m
+/// table. kSorted orders by the loads; packing is weighted LPT throughout
+/// (with uniform weights that is plain LPT — the snake deal is skipped, as
+/// it would re-derive costs from cells_of and unlearn the loads).
+std::vector<Shard> make_shards(const seq::PairBatch& batch,
+                               const std::vector<double>& lane_weights, SplitPolicy policy,
+                               std::size_t max_shard_pairs,
+                               std::span<const std::uint64_t> loads);
 
 }  // namespace saloba::gpusim

@@ -74,6 +74,19 @@ ReadProfile ReadProfile::pacbio_2kbp() {
   return p;
 }
 
+ReadProfile ReadProfile::nanopore_ultralong(std::size_t mean) {
+  ReadProfile p;
+  p.length_mean = mean;
+  p.length_sigma = 0.35;  // long right tail, like real ultra-long preps
+  p.length_min = mean / 5;
+  p.length_max = 1 << 20;  // 1 Mbp ceiling — ultra-long reads blow the 64 kb default
+  p.mutation_rate = 0.001;
+  p.indel_fraction = 0.10;
+  p.error_rate = 0.05;           // modern ONT raw error rate
+  p.error_indel_fraction = 0.5;  // indel-leaning error mix
+  return p;
+}
+
 ReadProfile ReadProfile::equal_length(std::size_t len) {
   ReadProfile p;
   p.length_mean = len;

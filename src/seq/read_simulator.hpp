@@ -6,7 +6,9 @@
 //     substitution-dominated errors, low indel rate)
 //   pacbio_2kbp()    → dataset B' (SRP091981 stand-in: log-normal ~2 kbp,
 //     indel-heavy 10-15% error)
-// Plus equal_length() used by the Fig. 6 synthetic sweeps.
+// Plus equal_length() used by the Fig. 6 synthetic sweeps and
+// nanopore_ultralong() — the 100 kbp+ ONT-style preset that feeds the
+// long-read X-drop wavefront route (core::LongReadPolicy).
 #pragma once
 
 #include <cstdint>
@@ -33,6 +35,12 @@ struct ReadProfile {
   static ReadProfile illumina_250bp();
   static ReadProfile pacbio_2kbp();
   static ReadProfile equal_length(std::size_t len);
+  /// Ultra-long nanopore-style reads (log-normal around `mean`, default
+  /// 100 kbp, capped at 1 Mbp — the only profile whose length_max exceeds
+  /// the legacy 64 kb ceiling). Modern ONT chemistry error mix: ~5%,
+  /// indel-leaning. Reads this long are what LongReadPolicy routes to the
+  /// X-drop wavefront engine.
+  static ReadProfile nanopore_ultralong(std::size_t mean = 100000);
 };
 
 /// A simulated read plus its ground-truth origin (for mapping validation).
