@@ -31,37 +31,26 @@ std::vector<Shard> make_shards_weighted(const seq::PairBatch& batch,
                                         std::size_t max_shard_pairs,
                                         const std::function<double(std::size_t)>& load_of) {
   const int devices = static_cast<int>(lane_weights.size());
-  std::vector<double> lane_load(lane_weights.size(), 0.0);
-  // Weighted LPT: put the next unit of work on the lane that would finish it
-  // earliest, i.e. minimise (load + cells) / weight.
-  auto pick_lane = [&](double cells) {
-    std::size_t best = 0;
-    double best_finish = (lane_load[0] + cells) / lane_weights[0];
-    for (std::size_t l = 1; l < lane_load.size(); ++l) {
-      double finish = (lane_load[l] + cells) / lane_weights[l];
-      if (finish < best_finish) {
-        best_finish = finish;
-        best = l;
-      }
-    }
-    return best;
-  };
 
   std::vector<Shard> shards;
   if (max_shard_pairs == 0) {
     // One shard per lane; deal pairs greedily in policy order (descending
     // cost under kSorted — the classic LPT schedule, weight-scaled).
+    std::vector<double> ordered_loads;
+    ordered_loads.reserve(order.size());
+    for (std::size_t i : order) ordered_loads.push_back(load_of(i));
+    std::vector<int> lanes = weighted_lpt_lanes(ordered_loads, lane_weights);
     shards.resize(lane_weights.size());
     for (int d = 0; d < devices; ++d) shards[static_cast<std::size_t>(d)].lane = d;
-    for (std::size_t i : order) {
-      std::size_t lane = pick_lane(load_of(i));
-      append_pair(shards[lane], batch, i);
-      shards[lane].indices.push_back(i);
-      lane_load[lane] += load_of(i);
+    for (std::size_t n = 0; n < order.size(); ++n) {
+      auto lane = static_cast<std::size_t>(lanes[n]);
+      append_pair(shards[lane], batch, order[n]);
+      shards[lane].indices.push_back(order[n]);
     }
   } else {
     // Capped runs of the policy order, each assigned whole to the lane with
     // the earliest weighted finish time; a lane may own several runs.
+    std::vector<double> run_loads;
     for (std::size_t begin = 0; begin < order.size(); begin += max_shard_pairs) {
       std::size_t end = std::min(begin + max_shard_pairs, order.size());
       Shard s;
@@ -71,11 +60,11 @@ std::vector<Shard> make_shards_weighted(const seq::PairBatch& batch,
         s.indices.push_back(order[i]);
         run_load += load_of(order[i]);
       }
-      std::size_t lane = pick_lane(run_load);
-      s.lane = static_cast<int>(lane);
-      lane_load[lane] += run_load;
+      run_loads.push_back(run_load);
       shards.push_back(std::move(s));
     }
+    std::vector<int> lanes = weighted_lpt_lanes(run_loads, lane_weights);
+    for (std::size_t n = 0; n < shards.size(); ++n) shards[n].lane = lanes[n];
   }
 
   std::erase_if(shards, [](const Shard& s) { return s.batch.size() == 0; });
@@ -83,6 +72,33 @@ std::vector<Shard> make_shards_weighted(const seq::PairBatch& batch,
 }
 
 }  // namespace
+
+std::vector<int> weighted_lpt_lanes(std::span<const double> loads,
+                                    std::span<const double> lane_weights) {
+  SALOBA_CHECK_MSG(!lane_weights.empty(), "need at least one lane weight");
+  for (double w : lane_weights) {
+    SALOBA_CHECK_MSG(w > 0.0, "lane weights must be positive, got " << w);
+  }
+  std::vector<double> lane_load(lane_weights.size(), 0.0);
+  std::vector<int> out;
+  out.reserve(loads.size());
+  for (double load : loads) {
+    // Put the next unit of work on the lane that would finish it earliest,
+    // i.e. minimise (load + work) / weight; ties go to the lowest lane.
+    std::size_t best = 0;
+    double best_finish = (lane_load[0] + load) / lane_weights[0];
+    for (std::size_t l = 1; l < lane_load.size(); ++l) {
+      double finish = (lane_load[l] + load) / lane_weights[l];
+      if (finish < best_finish) {
+        best_finish = finish;
+        best = l;
+      }
+    }
+    lane_load[best] += load;
+    out.push_back(static_cast<int>(best));
+  }
+  return out;
+}
 
 std::vector<std::size_t> shard_order(const seq::PairBatch& batch, SplitPolicy policy) {
   std::vector<std::size_t> order(batch.size());

@@ -80,6 +80,17 @@ std::vector<Shard> make_shards(const seq::PairBatch& batch,
                                const std::vector<double>& lane_weights, SplitPolicy policy,
                                std::size_t max_shard_pairs = 0);
 
+/// Greedy weighted-LPT placement of arbitrary work items onto lanes: items
+/// are taken in the given order, and item i goes to the lane minimising the
+/// weighted finish time (lane_load + loads[i]) / lane_weights[lane] — the
+/// same rule the cost-aware make_shards overloads apply to pair batches
+/// (ties break to the lowest lane). Returns the lane of each item,
+/// index-aligned with `loads`. The shared-index layer uses this to place
+/// reference shards (priced by their window length) across heterogeneous
+/// lanes; make_shards routes through it too, so the two stay one machinery.
+std::vector<int> weighted_lpt_lanes(std::span<const double> loads,
+                                    std::span<const double> lane_weights);
+
 /// Cost-aware sharding with *explicit per-pair loads*: pair i costs
 /// `loads[i]` (size must equal batch.size()) instead of batch.cells_of(i).
 /// The scheduler uses this when a routing policy prices some pairs by a

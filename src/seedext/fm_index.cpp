@@ -8,40 +8,70 @@
 namespace saloba::seedext {
 
 FmIndex::FmIndex(std::span<const seq::BaseCode> text) : text_size_(text.size()) {
-  suffix_array_ = build_suffix_array(text);
-  bwt_ = build_bwt(text, suffix_array_);
+  sa_store_ = build_suffix_array(text);
+  BwtResult bwt = build_bwt(text, sa_store_);
+  primary_ = bwt.primary;
+  bwt_store_ = std::move(bwt.bwt);
 
-  // Character start rows: sentinel first (row 0), then base codes.
-  std::array<std::size_t, 6> counts{};
-  for (std::uint8_t c : bwt_.bwt) {
-    ++counts[c == kBwtSentinel ? 5u : c];
-  }
-  std::size_t acc = 1;  // row 0 = sentinel rotation
-  for (int c = 0; c < seq::kAlphabetSize; ++c) {
-    first_[static_cast<std::size_t>(c)] = acc;
-    acc += counts[static_cast<std::size_t>(c)];
-  }
-
-  // Occurrence checkpoints every kCheckpointEvery rows.
-  const std::size_t rows = bwt_.bwt.size();
-  checkpoints_.resize(rows / kCheckpointEvery + 1);
+  // Occurrence checkpoints every kCheckpointEvery rows, including one for
+  // the final partial block (occ() only reads checkpoints at row / 64, and
+  // rows run to bwt.size() inclusive).
+  const std::size_t rows = bwt_store_.size();
+  checkpoint_store_.resize(rows / kCheckpointEvery + 1);
   std::array<std::uint32_t, 6> running{};
   for (std::size_t i = 0; i < rows; ++i) {
-    if (i % kCheckpointEvery == 0) checkpoints_[i / kCheckpointEvery] = running;
-    std::uint8_t c = bwt_.bwt[i];
+    if (i % kCheckpointEvery == 0) checkpoint_store_[i / kCheckpointEvery] = running;
+    std::uint8_t c = bwt_store_[i];
     ++running[c == kBwtSentinel ? 5u : c];
   }
   if (rows % kCheckpointEvery == 0) {
-    checkpoints_[rows / kCheckpointEvery] = running;
+    checkpoint_store_[rows / kCheckpointEvery] = running;
+  }
+
+  bwt_ = bwt_store_;
+  checkpoints_ = checkpoint_store_;
+  suffix_array_ = sa_store_;
+  derive_first_rows();
+}
+
+FmIndex::FmIndex(std::size_t text_size, std::size_t primary,
+                 std::span<const std::uint8_t> bwt,
+                 std::span<const std::array<std::uint32_t, 6>> checkpoints,
+                 std::span<const std::int32_t> suffix_array)
+    : text_size_(text_size),
+      primary_(primary),
+      bwt_(bwt),
+      checkpoints_(checkpoints),
+      suffix_array_(suffix_array) {
+  SALOBA_CHECK_MSG(bwt.size() == text_size + 1,
+                   "adopted BWT of " << bwt.size() << " rows for a " << text_size
+                                     << "-base text");
+  SALOBA_CHECK_MSG(checkpoints.size() == bwt.size() / kCheckpointEvery + 1,
+                   "adopted " << checkpoints.size() << " occ checkpoints for "
+                              << bwt.size() << " BWT rows");
+  SALOBA_CHECK_MSG(suffix_array.size() == text_size,
+                   "adopted suffix array of " << suffix_array.size() << " for a "
+                                              << text_size << "-base text");
+  derive_first_rows();
+}
+
+void FmIndex::derive_first_rows() {
+  // Character start rows: sentinel first (row 0), then base codes. Total
+  // per-character counts come from occ over the whole BWT — O(1) with the
+  // checkpoints, so the adopt path derives this without scanning the map.
+  std::size_t acc = 1;  // row 0 = sentinel rotation
+  for (int c = 0; c < seq::kAlphabetSize; ++c) {
+    first_[static_cast<std::size_t>(c)] = acc;
+    acc += occ(static_cast<std::uint8_t>(c), bwt_.size());
   }
 }
 
 std::size_t FmIndex::occ(std::uint8_t c, std::size_t row) const {
-  SALOBA_DCHECK(row <= bwt_.bwt.size());
+  SALOBA_DCHECK(row <= bwt_.size());
   const std::size_t cp = row / kCheckpointEvery;
   std::size_t count = checkpoints_[cp][c == kBwtSentinel ? 5u : c];
   for (std::size_t i = cp * kCheckpointEvery; i < row; ++i) {
-    if (bwt_.bwt[i] == c) ++count;
+    if (bwt_[i] == c) ++count;
   }
   return count;
 }

@@ -1,6 +1,12 @@
 // FM-index: BWT + occurrence checkpoints + backward search, with locate()
 // through a full suffix-array (acceptable at our multi-Mbp genome scale;
 // documented trade-off vs. sampled SA).
+//
+// Like KmerIndex, the flat arrays (BWT string, occurrence checkpoints,
+// suffix array) are span-backed and adoptable from external read-only
+// memory: seedext::SharedIndex serializes them verbatim and mmap-loads them
+// with zero copy. Only the tiny first-row table (8 words) is derived at
+// adopt time, from the checkpoints.
 #pragma once
 
 #include <array>
@@ -16,6 +22,15 @@ namespace saloba::seedext {
 class FmIndex {
  public:
   explicit FmIndex(std::span<const seq::BaseCode> text);
+
+  /// Adopts serialized arrays (the mmap zero-copy load path): spans must
+  /// stay valid and immutable for the index's lifetime and hold exactly
+  /// what the building constructor produces — a BWT of text_size + 1 codes,
+  /// occurrence checkpoints every kCheckpointEvery rows (including the
+  /// final partial block), and the full suffix array.
+  FmIndex(std::size_t text_size, std::size_t primary, std::span<const std::uint8_t> bwt,
+          std::span<const std::array<std::uint32_t, 6>> checkpoints,
+          std::span<const std::int32_t> suffix_array);
 
   std::size_t text_size() const { return text_size_; }
 
@@ -38,18 +53,32 @@ class FmIndex {
   /// Extends an interval by one character to the left of the pattern
   /// (backward-search step) — the primitive behind SMEM seeding.
   Interval extend_left(const Interval& iv, seq::BaseCode c) const;
-  Interval whole_text() const { return Interval{0, bwt_.bwt.size()}; }
+  Interval whole_text() const { return Interval{0, bwt_.size()}; }
+
+  /// Checkpoint stride — part of the serialized format contract.
+  static constexpr std::size_t kCheckpointEvery = 64;
+
+  /// The flat arrays, for serialization (seedext::SharedIndex).
+  std::span<const std::uint8_t> bwt() const { return bwt_; }
+  std::size_t primary() const { return primary_; }
+  std::span<const std::array<std::uint32_t, 6>> checkpoints() const { return checkpoints_; }
+  std::span<const std::int32_t> suffix_array() const { return suffix_array_; }
 
  private:
   std::size_t occ(std::uint8_t c, std::size_t row) const;  ///< #c in bwt[0,row)
+  void derive_first_rows();  ///< first_ from total character counts
 
-  static constexpr std::size_t kCheckpointEvery = 64;
   std::size_t text_size_ = 0;
-  BwtResult bwt_;
+  std::size_t primary_ = 0;  ///< BWT row holding the sentinel
+  // Owned storage when built from text; empty when adopting external memory.
+  std::vector<std::uint8_t> bwt_store_;
+  std::vector<std::array<std::uint32_t, 6>> checkpoint_store_;
+  std::vector<std::int32_t> sa_store_;
+  std::span<const std::uint8_t> bwt_;
+  /// occ checkpoints: checkpoints_[i][c] = #c in bwt[0, i*64).
+  std::span<const std::array<std::uint32_t, 6>> checkpoints_;
+  std::span<const std::int32_t> suffix_array_;  ///< for locate()
   std::array<std::size_t, 8> first_{};  ///< row of first rotation starting with c
-  /// occ checkpoints: checkpoint_[i][c] = #c in bwt[0, i*64).
-  std::vector<std::array<std::uint32_t, 6>> checkpoints_;
-  std::vector<std::int32_t> suffix_array_;  ///< for locate()
 };
 
 }  // namespace saloba::seedext

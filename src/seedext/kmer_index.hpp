@@ -1,6 +1,11 @@
 // K-mer hash index over the reference genome: the fast seeding path of the
 // pipeline (sorted (kmer, position) table with binary-searched lookups —
 // compact and cache-friendly compared to a node-per-kmer hash map).
+//
+// The three flat arrays (keys_/offsets_/entries_) are exposed as spans and
+// can be adopted from external read-only memory: a SharedIndex mmap-loads
+// the serialized arrays and constructs a view-backed KmerIndex over them
+// with zero copy (see seedext/shared_index.hpp).
 #pragma once
 
 #include <cstdint>
@@ -14,8 +19,28 @@ namespace saloba::seedext {
 
 class KmerIndex {
  public:
-  /// k in [4, 31]; k-mers containing N are not indexed.
+  /// Supported k range: 2 bits per base must fit a 64-bit key with room for
+  /// the rolling shift, and kMaxK keeps every key's high bits zero so
+  /// serialized keys are canonical (one masked packing path, no k == 32
+  /// special case anywhere).
+  static constexpr int kMinK = 4;
+  static constexpr int kMaxK = 31;
+  /// Positions and offsets are 32-bit; references beyond this are rejected
+  /// at build time (and recorded as u64 in the on-disk header so the loader
+  /// re-validates the limit).
+  static constexpr std::size_t kMaxReferenceBases = 0xFFFFFFFFull;
+
+  /// k in [kMinK, kMaxK]; k-mers containing N are not indexed.
   KmerIndex(std::span<const seq::BaseCode> text, int k);
+
+  /// Adopts already-built flat arrays (the mmap zero-copy load path): the
+  /// spans must stay valid and immutable for the index's lifetime, and must
+  /// hold exactly what the building constructor would have produced —
+  /// sorted distinct keys, offsets of size keys.size() + 1 delimiting each
+  /// key's ascending position run in entries.
+  KmerIndex(int k, std::span<const std::uint64_t> keys,
+            std::span<const std::uint32_t> offsets,
+            std::span<const std::uint32_t> entries);
 
   int k() const { return k_; }
   std::size_t distinct_kmers() const;
@@ -25,16 +50,36 @@ class KmerIndex {
   /// Returns an empty span for k-mers containing N.
   std::span<const std::uint32_t> lookup(std::span<const seq::BaseCode> kmer) const;
 
-  /// 2-bit packs a k-mer; nullopt if it contains N.
+  /// Lookup by an already-packed canonical key (pack_kmer's form) — lets the
+  /// sharded index pack once and probe every shard.
+  std::span<const std::uint32_t> lookup_packed(std::uint64_t key) const;
+
+  /// 2-bit packs a k-mer; nullopt if it contains N. Keys are masked to the
+  /// low 2k bits — the same canonical form the rolling build produces.
   static std::optional<std::uint64_t> pack_kmer(std::span<const seq::BaseCode> kmer, int k);
+
+  /// Low-2k-bit mask every key is reduced to, for k in [kMinK, kMaxK].
+  static constexpr std::uint64_t kmer_mask(int k) {
+    static_assert(2 * kMaxK < 64, "rolling k-mer keys must fit 64 bits unshifted");
+    return (1ULL << (2 * k)) - 1;
+  }
+
+  /// The flat arrays, for serialization (seedext::SharedIndex).
+  std::span<const std::uint64_t> keys() const { return keys_; }
+  std::span<const std::uint32_t> offsets() const { return offsets_; }
+  std::span<const std::uint32_t> entries() const { return entries_; }
 
  private:
   int k_;
+  // Owned storage when built from text; empty when adopting external memory.
+  std::vector<std::uint64_t> keys_store_;
+  std::vector<std::uint32_t> offsets_store_;
+  std::vector<std::uint32_t> entries_store_;
   // Parallel arrays sorted by key: keys_ holds each distinct k-mer once,
-  // offsets_[i]..offsets_[i+1] indexes entries_ (positions).
-  std::vector<std::uint64_t> keys_;
-  std::vector<std::uint32_t> offsets_;
-  std::vector<std::uint32_t> entries_;
+  // offsets_[i]..offsets_[i+1] indexes entries_ (positions, ascending).
+  std::span<const std::uint64_t> keys_;
+  std::span<const std::uint32_t> offsets_;
+  std::span<const std::uint32_t> entries_;
 };
 
 }  // namespace saloba::seedext

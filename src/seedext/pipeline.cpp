@@ -19,12 +19,24 @@
 namespace saloba::seedext {
 
 ReadMapper::ReadMapper(std::vector<seq::BaseCode> genome, MapperParams params)
-    : genome_(std::move(genome)), params_(params) {
+    : genome_(std::move(genome)), params_(std::move(params)) {
   SALOBA_CHECK_MSG(!genome_.empty(), "empty genome");
-  if (params_.use_fm_seeding) {
-    fm_index_ = std::make_unique<FmIndex>(genome_);
+  // Every index acquisition routes through the shared registry: two mappers
+  // over the same reference (same content, k, and sections) share one
+  // index instead of each rebuilding — the reference is the invariant,
+  // reads are the traffic.
+  if (params_.index_shards > 1) {
+    SALOBA_CHECK_MSG(!params_.use_fm_seeding,
+                     "reference sharding covers k-mer seeding only (use_fm_seeding is set)");
+    IndexShardingOptions sharding{params_.index_shards, params_.index_lane_weights,
+                                  params_.index_path};
+    sharded_index_ = std::make_unique<ShardedKmerIndex>(genome_, params_.k, sharding);
   } else {
-    kmer_index_ = std::make_unique<KmerIndex>(genome_, params_.k);
+    IndexOptions options{params_.k, /*kmer=*/!params_.use_fm_seeding,
+                         /*fm=*/params_.use_fm_seeding};
+    index_ = params_.index_path.empty()
+                 ? IndexRegistry::instance().acquire_memory(genome_, options)
+                 : IndexRegistry::instance().acquire_file(params_.index_path, genome_, options);
   }
 }
 
@@ -32,10 +44,13 @@ ReadMapper::~ReadMapper() = default;
 ReadMapper::ReadMapper(ReadMapper&&) noexcept = default;
 
 std::vector<Seed> ReadMapper::seeds_of(std::span<const seq::BaseCode> read) const {
-  if (params_.use_fm_seeding) {
-    return find_seeds_fm(*fm_index_, read, params_.seeding);
+  if (sharded_index_) {
+    return find_seeds(*sharded_index_, genome_, read, params_.seeding);
   }
-  return find_seeds(*kmer_index_, genome_, read, params_.seeding);
+  if (params_.use_fm_seeding) {
+    return find_seeds_fm(index_->fm(), read, params_.seeding);
+  }
+  return find_seeds(index_->kmer(), genome_, read, params_.seeding);
 }
 
 ReadMapper::StrandResult ReadMapper::analyze(std::span<const seq::BaseCode> read) const {

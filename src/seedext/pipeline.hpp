@@ -20,6 +20,7 @@
 #include "seedext/fm_index.hpp"
 #include "seedext/kmer_index.hpp"
 #include "seedext/seeding.hpp"
+#include "seedext/shared_index.hpp"
 #include "seq/sequence.hpp"
 
 namespace saloba::seq {
@@ -36,6 +37,24 @@ namespace saloba::seedext {
 struct MapperParams {
   int k = 16;
   bool use_fm_seeding = false;  ///< k-mer index by default; FM-index optional
+
+  // --- Shared-index routing (seedext::SharedIndex) -------------------------
+  /// Non-empty: the reference index is acquired through the shared-index
+  /// registry as an mmap of this file (built and saved on first use,
+  /// validate-and-adopt afterwards) instead of rebuilt in memory. Every
+  /// mapper/tenant naming the same path and k aliases one mapping.
+  /// With index_shards > 1 this becomes the per-shard path prefix
+  /// (IndexShardingOptions::path_prefix).
+  std::string index_path;
+  /// > 1: k-mer seeding goes through a reference-sharded index — the genome
+  /// is cut into this many overlapping windows with one sub-index each,
+  /// placed across lanes by weighted LPT. Seeds (and therefore mappings and
+  /// SAM bytes) are bit-identical to the monolithic index. K-mer seeding
+  /// only; incompatible with use_fm_seeding.
+  std::size_t index_shards = 1;
+  /// Heterogeneous lane weights for index-shard placement (empty = 1 lane).
+  std::vector<double> index_lane_weights;
+
   SeedingParams seeding;
   ChainingParams chaining;
   JobParams jobs;
@@ -257,8 +276,11 @@ class ReadMapper {
 
   std::vector<seq::BaseCode> genome_;
   MapperParams params_;
-  std::unique_ptr<KmerIndex> kmer_index_;
-  std::unique_ptr<FmIndex> fm_index_;
+  /// Refcounted handle from the shared-index registry (in-memory or mmap):
+  /// mappers over the same reference share one index instead of rebuilding.
+  std::shared_ptr<const SharedIndex> index_;
+  /// The reference-sharded seeding path (params_.index_shards > 1).
+  std::unique_ptr<ShardedKmerIndex> sharded_index_;
   BatchChainer chainer_;  ///< null = in-process chain engine
 };
 

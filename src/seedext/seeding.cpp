@@ -30,11 +30,15 @@ Seed extend_exact(std::span<const seq::BaseCode> genome, std::span<const seq::Ba
   return seed;
 }
 
-}  // namespace
-
-std::vector<Seed> find_seeds(const KmerIndex& index, std::span<const seq::BaseCode> genome,
-                             std::span<const seq::BaseCode> read,
-                             const SeedingParams& params) {
+/// The one k-mer seeding implementation: `index` is anything with k() and a
+/// lookup(kmer) returning an iterable position list (KmerIndex's span view,
+/// ShardedKmerIndex's merged global vector). The max_hits repeat filter
+/// applies to whatever lookup returned — for the sharded index that is the
+/// merged list, so both paths agree by construction.
+template <class Index>
+std::vector<Seed> find_seeds_impl(const Index& index, std::span<const seq::BaseCode> genome,
+                                  std::span<const seq::BaseCode> read,
+                                  const SeedingParams& params) {
   std::vector<Seed> seeds;
   if (read.size() < static_cast<std::size_t>(index.k())) return seeds;
 
@@ -57,6 +61,21 @@ std::vector<Seed> find_seeds(const KmerIndex& index, std::span<const seq::BaseCo
     return a.qpos != b.qpos ? a.qpos < b.qpos : a.rpos < b.rpos;
   });
   return seeds;
+}
+
+}  // namespace
+
+std::vector<Seed> find_seeds(const KmerIndex& index, std::span<const seq::BaseCode> genome,
+                             std::span<const seq::BaseCode> read,
+                             const SeedingParams& params) {
+  return find_seeds_impl(index, genome, read, params);
+}
+
+std::vector<Seed> find_seeds(const ShardedKmerIndex& index,
+                             std::span<const seq::BaseCode> genome,
+                             std::span<const seq::BaseCode> read,
+                             const SeedingParams& params) {
+  return find_seeds_impl(index, genome, read, params);
 }
 
 std::vector<Seed> find_seeds_fm(const FmIndex& index, std::span<const seq::BaseCode> read,

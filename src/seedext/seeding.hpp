@@ -10,6 +10,7 @@
 
 #include "seedext/fm_index.hpp"
 #include "seedext/kmer_index.hpp"
+#include "seedext/shared_index.hpp"
 #include "seq/alphabet.hpp"
 
 namespace saloba::seedext {
@@ -34,6 +35,15 @@ struct SeedingParams {
 /// K-mer seeding: k-mer hits extended to maximal exact matches, deduplicated
 /// by (diagonal, end position), filtered to len >= min_seed_len.
 std::vector<Seed> find_seeds(const KmerIndex& index, std::span<const seq::BaseCode> genome,
+                             std::span<const seq::BaseCode> read, const SeedingParams& params);
+
+/// K-mer seeding over a reference-sharded index: same algorithm (and the
+/// same one implementation underneath), with each k-mer's hit list the
+/// shard-merged global positions — bit-identical seeds to the monolithic
+/// find_seeds, including the max_hits repeat filter, which judges the
+/// merged list.
+std::vector<Seed> find_seeds(const ShardedKmerIndex& index,
+                             std::span<const seq::BaseCode> genome,
                              std::span<const seq::BaseCode> read, const SeedingParams& params);
 
 /// FM-index seeding: greedy SMEM-like pass — at each query position, the

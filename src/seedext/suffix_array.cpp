@@ -1,6 +1,7 @@
 #include "seedext/suffix_array.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
 
 #include "util/check.hpp"
@@ -133,6 +134,12 @@ void sais(const int32_t* s, int32_t* sa, int32_t n, int32_t k) {
 }  // namespace
 
 std::vector<int32_t> build_suffix_array(std::span<const seq::BaseCode> text) {
+  // SA-IS works in int32 throughout (positions, bucket sums); a longer text
+  // would silently wrap. Fail loudly — genome-scale references go through
+  // the sharded index (seedext::ShardedKmerIndex) instead.
+  SALOBA_CHECK_MSG(text.size() < static_cast<std::size_t>(INT32_MAX),
+                   "text of " << text.size()
+                              << " bases overflows the suffix array's 32-bit positions");
   const auto n = static_cast<int32_t>(text.size());
   if (n == 0) return {};
   // Shift codes by +1 so 0 is the unique sentinel.

@@ -1,0 +1,47 @@
+// Checksums for the on-disk index format (seedext::SharedIndex). Word-wise
+// FNV-1a: the classic byte-at-a-time FNV-1a recurrence applied to 64-bit
+// little-endian words (tail bytes zero-padded), so validating a multi-hundred
+// MB index payload costs a fraction of rebuilding it — the whole point of the
+// mmap load path. Not cryptographic; guards against truncation/bit-rot, not
+// adversaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace saloba::util {
+
+inline constexpr std::uint64_t kFnv64Offset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnv64Prime = 1099511628211ULL;
+
+/// Word-wise FNV-1a over `data`. Deterministic across platforms (the tail is
+/// padded with zero bytes, words are read little-endian via memcpy).
+inline std::uint64_t fnv1a64(std::span<const std::byte> data,
+                             std::uint64_t seed = kFnv64Offset) {
+  std::uint64_t h = seed;
+  const std::size_t words = data.size() / 8;
+  const std::byte* p = data.data();
+  for (std::size_t i = 0; i < words; ++i) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i * 8, 8);
+    h = (h ^ w) * kFnv64Prime;
+  }
+  const std::size_t tail = data.size() % 8;
+  if (tail > 0) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p + words * 8, tail);
+    h = (h ^ w) * kFnv64Prime;
+  }
+  // Fold the length in so "abc" and "abc\0" (same padded word) differ.
+  return (h ^ static_cast<std::uint64_t>(data.size())) * kFnv64Prime;
+}
+
+/// fnv1a64 over any trivially copyable element span (the flat index arrays).
+template <class T>
+std::uint64_t fnv1a64_of(std::span<const T> data, std::uint64_t seed = kFnv64Offset) {
+  return fnv1a64(std::as_bytes(data), seed);
+}
+
+}  // namespace saloba::util

@@ -1,0 +1,73 @@
+#include "util/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace saloba::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+MmapFile::MmapFile(const std::string& path) : path_(path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("cannot open", path);
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("cannot stat", path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    // mmap(0) is EINVAL; an empty file is a valid (empty) mapping.
+    ::close(fd);
+    return;
+  }
+
+  void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping keeps its own reference to the file; the descriptor is not
+  // needed past this point either way.
+  ::close(fd);
+  if (p == MAP_FAILED) throw_errno("cannot mmap", path);
+  data_ = p;
+}
+
+void MmapFile::reset() noexcept {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+  path_.clear();
+}
+
+MmapFile::~MmapFile() { reset(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    path_ = std::move(other.path_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace saloba::util

@@ -1,0 +1,44 @@
+// Read-only memory-mapped file (POSIX mmap) — the zero-copy substrate of the
+// shared on-disk index (seedext::SharedIndex): loaded index arrays are spans
+// aliasing the mapping, so N mappers over one reference share one set of
+// physical pages instead of N private rebuilds.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace saloba::util {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  /// Maps `path` read-only. Throws std::runtime_error (with errno context)
+  /// when the file cannot be opened, stat'ed, or mapped.
+  explicit MmapFile(const std::string& path);
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  bool valid() const { return data_ != nullptr || size_ == 0; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// The whole mapping. Bytes are read-only for the process lifetime of this
+  /// object; spans derived from it must not outlive it.
+  std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+
+ private:
+  void reset() noexcept;
+
+  std::string path_;
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace saloba::util
